@@ -1,0 +1,83 @@
+// Command lightpc-bench runs the paper's evaluation experiments and prints
+// the tables/series each figure reports.
+//
+// Usage:
+//
+//	lightpc-bench                 # run everything at full fidelity
+//	lightpc-bench -exp fig15      # one experiment
+//	lightpc-bench -list           # list experiment ids
+//	lightpc-bench -quick          # trimmed sweeps (CI smoke)
+//	lightpc-bench -samples 200000 # more samples per workload run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quick   = flag.Bool("quick", false, "use trimmed sweeps")
+		samples = flag.Uint64("samples", 0, "memory references sampled per run (0 = default)")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		format  = flag.String("format", "text", "output format: text | json")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.All() {
+			fmt.Printf("%-10s %s\n", n.ID, n.Desc)
+		}
+		return
+	}
+
+	o := experiments.DefaultOptions()
+	if *quick {
+		o = experiments.QuickOptions()
+	}
+	if *samples > 0 {
+		o.SampleOps = *samples
+	}
+	o.Seed = *seed
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	run := func(n experiments.Named) {
+		tables := n.Run(o)
+		if *format == "json" {
+			payload := struct {
+				ID     string          `json:"id"`
+				Desc   string          `json:"description"`
+				Tables []*report.Table `json:"tables"`
+			}{n.ID, n.Desc, tables}
+			if err := enc.Encode(payload); err != nil {
+				fmt.Fprintf(os.Stderr, "lightpc-bench: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+
+	if *exp == "all" {
+		for _, n := range experiments.All() {
+			run(n)
+		}
+		return
+	}
+	n, ok := experiments.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lightpc-bench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(n)
+}

@@ -1,0 +1,127 @@
+// Command lightpc-trace inspects the Table II workload models: it drains a
+// generator and prints the traffic characterization, optionally dumping the
+// first references.
+//
+// Usage:
+//
+//	lightpc-trace                      # characterize all 17 workloads
+//	lightpc-trace -workload mcf -n 100000
+//	lightpc-trace -workload wrf -dump 20
+//	lightpc-trace -workload gcc -record gcc.lpct
+//	lightpc-trace -replay gcc.lpct -dump 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func characterize(s workload.Spec, n uint64, seed uint64, dump int) {
+	g := workload.NewSynthetic(s, n, seed)
+	i := 0
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		if i < dump {
+			fmt.Printf("  %-5s addr=%#012x gap=%d\n",
+				r.Access.Op, r.Access.Addr, r.ComputeCycles)
+		}
+		i++
+	}
+	st := g.Stats()
+	fmt.Printf("%-10s %-14s reads=%-8d writes=%-8d r/w=%-6.1f gap=%d cyc  footprint=%dMB\n",
+		s.Name, s.Category, st.Reads, st.Writes, st.ReadWriteRatio(),
+		workload.GapCycles(s), s.FootprintBytes>>20)
+}
+
+func main() {
+	var (
+		name   = flag.String("workload", "", "workload name (empty = all)")
+		n      = flag.Uint64("n", 50000, "references to sample")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		dump   = flag.Int("dump", 0, "print the first N references")
+		record = flag.String("record", "", "write the trace to this file")
+		replay = flag.String("replay", "", "replay a recorded trace file")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightpc-trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rp, err := workload.NewReplay(*replay, f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightpc-trace: %v\n", err)
+			os.Exit(1)
+		}
+		reads, writes := 0, 0
+		i := 0
+		for {
+			r, ok := rp.Next()
+			if !ok {
+				break
+			}
+			if i < *dump {
+				fmt.Printf("  %-5s addr=%#012x gap=%d\n", r.Access.Op, r.Access.Addr, r.ComputeCycles)
+			}
+			i++
+			if r.Access.Op == 0 {
+				reads++
+			} else {
+				writes++
+			}
+		}
+		if err := rp.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "lightpc-trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d refs (%d reads, %d writes)\n", *replay, i, reads, writes)
+		return
+	}
+
+	if *record != "" {
+		s, ok := workload.ByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lightpc-trace: -record needs a valid -workload\n")
+			os.Exit(2)
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightpc-trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		wrote, err := workload.WriteTrace(f, workload.NewSynthetic(s, *n, *seed))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightpc-trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d refs of %s to %s\n", wrote, s.Name, *record)
+		return
+	}
+
+	if *name == "" {
+		for _, s := range workload.Table2() {
+			characterize(s, *n, *seed, 0)
+		}
+		return
+	}
+	s, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lightpc-trace: unknown workload %q\n", *name)
+		fmt.Fprintln(os.Stderr, "known workloads:")
+		for _, w := range workload.Table2() {
+			fmt.Fprintf(os.Stderr, "  %s\n", w.Name)
+		}
+		os.Exit(2)
+	}
+	characterize(s, *n, *seed, *dump)
+}

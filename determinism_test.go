@@ -1,0 +1,82 @@
+package lightpc_test
+
+// Reproducibility tests: the whole simulation is seeded and single-
+// threaded, so identical configurations must yield bit-identical results —
+// the property that makes every number in EXPERIMENTS.md regenerable.
+
+import (
+	"testing"
+
+	lightpc "repro"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+func runOnce(t *testing.T, seed uint64) lightpc.RunResult {
+	t.Helper()
+	cfg := lightpc.DefaultConfig(lightpc.LightPCFull)
+	cfg.Seed = seed
+	cfg.SampleOps = 15_000
+	p := lightpc.New(cfg)
+	s, ok := workload.ByName("Memcached")
+	if !ok {
+		t.Fatal("missing spec")
+	}
+	return p.Run(s)
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := runOnce(t, 7)
+	b := runOnce(t, 7)
+	if a.Elapsed != b.Elapsed || a.Instructions != b.Instructions ||
+		a.ReadMisses != b.ReadMisses || a.EnergyJ != b.EnergyJ {
+		t.Fatalf("same seed diverged: %+v vs %+v", a.Result, b.Result)
+	}
+}
+
+func TestRunSeedSensitive(t *testing.T) {
+	a := runOnce(t, 7)
+	b := runOnce(t, 8)
+	if a.Elapsed == b.Elapsed && a.StallTime == b.StallTime {
+		t.Fatal("different seeds produced identical timing (suspicious)")
+	}
+}
+
+func TestSnGDeterministic(t *testing.T) {
+	run := func() (total, goTotal int64) {
+		cfg := lightpc.DefaultConfig(lightpc.LightPCFull)
+		cfg.Seed = 11
+		p := lightpc.New(cfg)
+		p.Kernel().Tick(12)
+		stop := p.PowerFail(0, power.ATX())
+		rec, err := p.Recover(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(stop.Total), int64(rec.Total)
+	}
+	s1, g1 := run()
+	s2, g2 := run()
+	if s1 != s2 || g1 != g2 {
+		t.Fatalf("SnG timing diverged: %d/%d vs %d/%d", s1, g1, s2, g2)
+	}
+}
+
+func TestPlatformsShareWorkloadStreams(t *testing.T) {
+	// The three platforms must see the same reference stream for a given
+	// seed — otherwise cross-platform ratios compare different programs.
+	collect := func(kind lightpc.Kind) uint64 {
+		cfg := lightpc.DefaultConfig(kind)
+		cfg.Seed = 3
+		cfg.SampleOps = 5_000
+		p := lightpc.New(cfg)
+		s, _ := workload.ByName("gcc")
+		res := p.Run(s)
+		return res.Stats.Reads<<32 | res.Stats.Writes
+	}
+	legacy := collect(lightpc.LegacyPC)
+	full := collect(lightpc.LightPCFull)
+	if legacy != full {
+		t.Fatal("platforms ran different reference streams")
+	}
+}

@@ -1,0 +1,55 @@
+// Checkpointcompare: run one workload profile under the four persistence
+// mechanisms of Section VI — SysPC system images, A-CheckPC per-function
+// checkpoints, S-CheckPC periodic BLCR dumps, and LightPC's SnG — and show
+// where the execution time goes (Figure 19 in miniature).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/persist"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func main() {
+	profile := persist.Profile{
+		Name:           "in-memory-db",
+		ExecTime:       10 * sim.Second,
+		Instructions:   4_000_000_000,
+		FootprintBytes: 512 << 20,
+		DirtyFraction:  0.5,
+	}
+	fmt.Printf("workload: %s — %v execution, %d MB resident\n\n",
+		profile.Name, profile.ExecTime, profile.FootprintBytes>>20)
+
+	atx := power.ATX().HoldUp(18.9)
+	var light persist.Outcome
+	outcomes := make([]persist.Outcome, 0, 4)
+	for _, m := range persist.All() {
+		o := m.Run(profile)
+		outcomes = append(outcomes, o)
+		if o.Mechanism == "LightPC" {
+			light = o
+		}
+	}
+	fmt.Printf("%-10s %-12s %-14s %-10s %-14s %s\n",
+		"mechanism", "benchmark", "persist ctl", "vs LightPC", "flush@down", "notes")
+	for _, o := range outcomes {
+		notes := ""
+		if o.ExceedsHoldUp {
+			notes = "needs backup power"
+		}
+		if o.ColdReboot {
+			notes = "cold reboot on recovery"
+		}
+		ratio := fmt.Sprintf("%.2fx", float64(o.Total())/float64(light.Total()))
+		flushNote := fmt.Sprintf("%v", o.FlushAtPowerDown)
+		if o.FlushAtPowerDown > sim.Duration(atx) {
+			flushNote += " (!)"
+		}
+		fmt.Printf("%-10s %-12v %-14v %-10s %-14s %s\n",
+			o.Mechanism, o.BenchTime, o.PersistControl, ratio, flushNote, notes)
+	}
+	fmt.Printf("\nATX hold-up window: %v — only LightPC's Stop fits inside it\n", atx)
+}

@@ -1,0 +1,86 @@
+// Powerfail: a persistent key-value store built on the PMDK-like object
+// pool over OC-PMEM. Committed transactions survive a power cut; the
+// transaction in flight at the moment of failure is rolled back on
+// recovery — crash atomicity end to end.
+//
+// The same program over a DRAM bank loses everything, which is exactly the
+// gap LightPC closes.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/pmdk"
+)
+
+// kvPut stores key→value as a two-word object linked from the root (a
+// minimal persistent linked list, Figure 3b style).
+func kvPut(p *pmdk.Pool, key, value uint64) {
+	obj := p.Alloc(3) // [key, value, next]
+	p.TxBegin()
+	p.Set(obj, 0, key)
+	p.Set(obj, 1, value)
+	p.Set(obj, 2, uint64(p.Root()))
+	p.TxCommit()
+	p.SetRoot(obj)
+}
+
+// kvGet walks the list.
+func kvGet(p *pmdk.Pool, key uint64) (uint64, bool) {
+	for oid := p.Root(); oid != pmdk.NilOID; {
+		if p.Get(oid, 0) == key {
+			return p.Get(oid, 1), true
+		}
+		oid = pmdk.OID(p.Get(oid, 2))
+	}
+	return 0, false
+}
+
+func kvLen(p *pmdk.Pool) int {
+	n := 0
+	for oid := p.Root(); oid != pmdk.NilOID; {
+		n++
+		oid = pmdk.OID(p.Get(oid, 2))
+	}
+	return n
+}
+
+func main() {
+	ocpmem := kernel.NewBank("ocpmem", true)
+	store := pmdk.Open(ocpmem)
+
+	fmt.Println("inserting 5 committed records...")
+	for i := uint64(1); i <= 5; i++ {
+		kvPut(store, i, i*100)
+	}
+
+	fmt.Println("starting a 6th insert, then pulling the plug mid-transaction...")
+	obj := store.Alloc(3)
+	store.TxBegin()
+	store.Set(obj, 0, 6)
+	store.Set(obj, 1, 600)
+	// CRASH: no commit, no root update.
+	ocpmem.PowerLoss() // persistent bank: a no-op, but models the event
+
+	fmt.Println("power restored; reopening the pool (undo log replays)...")
+	recovered := pmdk.Open(ocpmem)
+	fmt.Printf("  records after recovery: %d (want 5)\n", kvLen(recovered))
+	for i := uint64(1); i <= 6; i++ {
+		if v, ok := kvGet(recovered, i); ok {
+			fmt.Printf("  key %d -> %d\n", i, v)
+		} else {
+			fmt.Printf("  key %d -> (rolled back)\n", i)
+		}
+	}
+
+	fmt.Println("\nthe same store on LegacyPC's DRAM:")
+	dram := kernel.NewBank("dram", false)
+	volatileStore := pmdk.Open(dram)
+	for i := uint64(1); i <= 5; i++ {
+		kvPut(volatileStore, i, i*100)
+	}
+	dram.PowerLoss()
+	after := pmdk.Open(dram)
+	fmt.Printf("  records after power loss: %d (everything gone)\n", kvLen(after))
+}

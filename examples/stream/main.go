@@ -1,0 +1,37 @@
+// Stream: measure STREAM sustainable bandwidth (Copy/Scale/Add/Triad) on
+// LegacyPC and LightPC — Figure 17's experiment as a standalone program.
+package main
+
+import (
+	"fmt"
+
+	lightpc "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	const elements = 200_000
+
+	run := func(kind lightpc.Kind, k workload.Kernel) float64 {
+		cfg := lightpc.DefaultConfig(kind)
+		p := lightpc.New(cfg)
+		gens := make([]workload.Generator, cfg.CPU.Cores)
+		for i := range gens {
+			gens[i] = workload.NewStream(k, elements/uint64(cfg.CPU.Cores))
+		}
+		res := p.RunGenerators("STREAM-"+k.String(), gens, true)
+		bytes := float64(elements) * float64(k.BytesPerElement())
+		return bytes / res.Elapsed.Seconds() / 1e9
+	}
+
+	fmt.Printf("%-8s %-14s %-14s %s\n", "kernel", "LegacyPC GB/s", "LightPC GB/s", "normalized")
+	var sum float64
+	for _, k := range workload.Kernels() {
+		legacy := run(lightpc.LegacyPC, k)
+		light := run(lightpc.LightPCFull, k)
+		norm := light / legacy
+		sum += norm
+		fmt.Printf("%-8s %-14.2f %-14.2f %.1f%%\n", k, legacy, light, 100*norm)
+	}
+	fmt.Printf("average: %.1f%% of LegacyPC (paper: ~78%%)\n", 100*sum/4)
+}

@@ -1,0 +1,58 @@
+// Wearlevel: hammer one logical line with writes and compare the per-row
+// wear distribution with and without Start-Gap wear leveling — the
+// Section V-A/VIII mechanism whose metadata (start, gap, counter, seed)
+// rides the EP-cut.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/psm"
+	"repro/internal/sim"
+)
+
+func run(wearLevel bool) (maxWear uint64, rows int, meta string) {
+	cfg := psm.DefaultConfig()
+	cfg.RowBuffer = false
+	cfg.NVDIMM.Device.TrackWear = true
+	if wearLevel {
+		cfg.WearLevelLines = 256
+		cfg.WearLevelThreshold = 1
+	}
+	p := psm.New(cfg)
+	now := sim.Time(0)
+	const writes = 20_000
+	for i := 0; i < writes; i++ {
+		now = p.Write(now, 42) // one pathologically hot line
+	}
+	for _, d := range p.DIMMs() {
+		for _, dev := range d.Devices() {
+			if _, c := dev.MaxWear(); c > maxWear {
+				maxWear = c
+			}
+			rows += dev.TouchedRows()
+		}
+	}
+	if wl := p.WearLeveler(); wl != nil {
+		start, gap, w, moves := wl.Metadata()
+		meta = fmt.Sprintf("start=%d gap=%d writes=%d moves=%d", start, gap, w, moves)
+	}
+	return maxWear, rows, meta
+}
+
+func main() {
+	fmt.Println("20,000 writes to a single hot line:")
+
+	maxW, rows, _ := run(false)
+	fmt.Printf("  without wear leveling: max per-row wear = %d over %d touched rows\n", maxW, rows)
+
+	maxW2, rows2, meta := run(true)
+	fmt.Printf("  with Start-Gap:        max per-row wear = %d over %d touched rows\n", maxW2, rows2)
+	fmt.Printf("  leveler registers (persisted in the BCB at the EP-cut): %s\n", meta)
+
+	improvement := float64(maxW) / float64(maxW2)
+	fmt.Printf("\nendurance improvement on the hottest row: %.0fx\n", improvement)
+
+	fmt.Printf("(the hot line visited %d distinct physical rows instead of %d)\n",
+		rows2, rows)
+}

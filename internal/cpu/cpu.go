@@ -1,0 +1,180 @@
+// Package cpu models the prototype's multicore processor (Table I: eight
+// RV64 7-stage out-of-order cores, 400 MHz on FPGA / 1.6 GHz signed-off
+// ASIC) at the level the evaluation measures: instructions retired, cycles,
+// IPC, and memory stall time.
+//
+// Cores consume workload reference streams. Pre-decided L1 hits retire at
+// pipeline speed; misses go to the shared memory backend and stall the core
+// for a configurable fraction of the service time (the out-of-order window
+// hides the rest). Store misses are posted through a store buffer and stall
+// only on acknowledgement backpressure.
+package cpu
+
+import (
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config parameterizes the processor.
+type Config struct {
+	Cores int
+	// FreqHz is the core clock (Table I: 4e8 FPGA, 1.6e9 ASIC).
+	FreqHz float64
+	// HitCycles is the L1 hit cost visible to the pipeline.
+	HitCycles int
+	// ReadStallOverlap is the fraction of a read miss's service time the
+	// core actually stalls (the OoO window hides the rest).
+	ReadStallOverlap float64
+	// WriteStallOverlap is the same for store acknowledgements (posted
+	// through the store buffer, so much lower).
+	WriteStallOverlap float64
+}
+
+// DefaultConfig is the FPGA prototype clocked at 400 MHz.
+func DefaultConfig() Config {
+	return Config{
+		Cores:             8,
+		FreqHz:            4e8,
+		HitCycles:         2,
+		ReadStallOverlap:  0.75,
+		WriteStallOverlap: 0.30,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Instructions uint64
+	MemOps       uint64
+	ReadMisses   uint64
+	WriteMisses  uint64
+
+	// Elapsed is the wall-clock of the slowest core.
+	Elapsed sim.Duration
+	// Cycles is Elapsed expressed in core clocks.
+	Cycles int64
+	// StallTime is the summed memory stall across cores.
+	StallTime sim.Duration
+
+	// Stats merges the generators' traffic characterization.
+	Stats trace.Stats
+}
+
+// IPC reports average per-core instructions per cycle.
+func (r Result) IPC(cores int) float64 {
+	if r.Cycles == 0 || cores == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles) / float64(cores)
+}
+
+// StallFraction reports the share of total core-time spent stalled on
+// memory (Figure 14's y-axis).
+func (r Result) StallFraction(cores int) float64 {
+	total := sim.Duration(cores) * r.Elapsed
+	if total == 0 {
+		return 0
+	}
+	return float64(r.StallTime) / float64(total)
+}
+
+// Run executes one generator per core against the shared backend, starting
+// at time start, and returns the merged result. Cores are interleaved in
+// simulated-time order so backend contention is realistic.
+func Run(cfg Config, start sim.Time, gens []workload.Generator, backend cache.Backend) Result {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.FreqHz <= 0 {
+		cfg.FreqHz = 4e8
+	}
+	type coreState struct {
+		gen  workload.Generator
+		now  sim.Time
+		done bool
+	}
+	cores := make([]coreState, 0, len(gens))
+	for _, g := range gens {
+		cores = append(cores, coreState{gen: g, now: start})
+	}
+
+	var res Result
+	active := len(cores)
+	for active > 0 {
+		// Advance the core that is earliest in simulated time.
+		ci := -1
+		for i := range cores {
+			if cores[i].done {
+				continue
+			}
+			if ci < 0 || cores[i].now.Before(cores[ci].now) {
+				ci = i
+			}
+		}
+		c := &cores[ci]
+		ref, ok := c.gen.Next()
+		if !ok {
+			c.done = true
+			active--
+			continue
+		}
+		// Retire the compute gap plus the memory instruction itself.
+		instr := ref.ComputeCycles + 1
+		res.Instructions += uint64(instr)
+		res.MemOps++
+		c.now = c.now.Add(sim.Cycles(int64(instr), cfg.FreqHz))
+
+		if ref.L1Hit {
+			c.now = c.now.Add(sim.Cycles(int64(cfg.HitCycles), cfg.FreqHz))
+			continue
+		}
+		if ref.Access.Op == trace.OpRead {
+			res.ReadMisses++
+			done := backend.Read(c.now, ref.Access.Addr)
+			stall := sim.Duration(float64(done.Sub(c.now)) * cfg.ReadStallOverlap)
+			res.StallTime += stall
+			c.now = c.now.Add(stall)
+		} else {
+			res.WriteMisses++
+			ack := backend.Write(c.now, ref.Access.Addr)
+			stall := sim.Duration(float64(ack.Sub(c.now)) * cfg.WriteStallOverlap)
+			res.StallTime += stall
+			c.now = c.now.Add(stall)
+		}
+	}
+
+	end := start
+	for i := range cores {
+		end = sim.Max(end, cores[i].now)
+	}
+	res.Elapsed = end.Sub(start)
+	res.Cycles = res.Elapsed.ToCycles(cfg.FreqHz)
+	for _, g := range gens {
+		if sg, ok := g.(interface{ Stats() trace.Stats }); ok {
+			st := sg.Stats()
+			res.Stats.Merge(&st)
+		}
+	}
+	return res
+}
+
+// Fanout builds the generator set for a spec: multithreaded workloads get
+// one synthetic stream per core; single-threaded ones are pinned to core 0
+// with the ambient kernel-thread traffic of Section VI ("tens of kernel
+// threads") on the remaining cores.
+func Fanout(spec workload.Spec, cores int, sampleOps uint64, seed uint64) []workload.Generator {
+	if spec.MultiThread && cores > 1 {
+		per := sampleOps / uint64(cores)
+		gens := make([]workload.Generator, 0, cores)
+		for i := 0; i < cores; i++ {
+			gens = append(gens, workload.NewSynthetic(spec, per, seed+uint64(i)*104729))
+		}
+		return gens
+	}
+	gens := []workload.Generator{workload.NewSynthetic(spec, sampleOps, seed)}
+	for i := 1; i < cores; i++ {
+		gens = append(gens, workload.NewBackground(sampleOps/4, seed+uint64(i)*7177))
+	}
+	return gens
+}

@@ -1,0 +1,157 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// fixedBackend has constant read/write service times.
+type fixedBackend struct {
+	readLat, writeLat sim.Duration
+	reads, writes     uint64
+}
+
+func (b *fixedBackend) Read(now sim.Time, addr uint64) sim.Time {
+	b.reads++
+	return now.Add(b.readLat)
+}
+
+func (b *fixedBackend) Write(now sim.Time, addr uint64) sim.Time {
+	b.writes++
+	return now.Add(b.writeLat)
+}
+
+func spec(t *testing.T, name string) workload.Spec {
+	t.Helper()
+	s, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("missing spec %s", name)
+	}
+	return s
+}
+
+func TestRunRetiresEverything(t *testing.T) {
+	b := &fixedBackend{readLat: 100 * sim.Nanosecond, writeLat: 20 * sim.Nanosecond}
+	gens := []workload.Generator{workload.NewSynthetic(spec(t, "AES"), 5000, 1)}
+	res := Run(DefaultConfig(), 0, gens, b)
+	if res.MemOps != 5000 {
+		t.Fatalf("MemOps = %d", res.MemOps)
+	}
+	s, _ := workload.ByName("AES")
+	want := 5000 * uint64(workload.GapCycles(s)+1)
+	if res.Instructions != want {
+		t.Fatalf("Instructions = %d, want %d", res.Instructions, want)
+	}
+	if res.Elapsed <= 0 || res.Cycles <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	if b.reads+b.writes != res.ReadMisses+res.WriteMisses {
+		t.Fatal("backend traffic != misses")
+	}
+}
+
+func TestSlowerBackendSlowsExecution(t *testing.T) {
+	gens := func() []workload.Generator {
+		return []workload.Generator{workload.NewSynthetic(spec(t, "mcf"), 20000, 3)}
+	}
+	fast := Run(DefaultConfig(), 0, gens(), &fixedBackend{readLat: 50 * sim.Nanosecond})
+	slow := Run(DefaultConfig(), 0, gens(), &fixedBackend{readLat: 500 * sim.Nanosecond})
+	if slow.Elapsed <= fast.Elapsed {
+		t.Fatalf("slow backend not slower: %v vs %v", slow.Elapsed, fast.Elapsed)
+	}
+	if slow.StallFraction(1) <= fast.StallFraction(1) {
+		t.Fatal("stall fraction should grow with memory latency")
+	}
+}
+
+func TestIPCInPlausibleRange(t *testing.T) {
+	b := &fixedBackend{readLat: 65 * sim.Nanosecond, writeLat: 15 * sim.Nanosecond}
+	gens := []workload.Generator{workload.NewSynthetic(spec(t, "AES"), 20000, 1)}
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	res := Run(cfg, 0, gens, b)
+	ipc := res.IPC(1)
+	// The paper's observed IPC band is roughly 0.2–0.7.
+	if ipc < 0.1 || ipc > 1.5 {
+		t.Fatalf("IPC = %v, outside plausible band", ipc)
+	}
+}
+
+func TestFrequencyScalingRaisesStallFraction(t *testing.T) {
+	// Figure 14: memory stalls take a growing share as the core speeds up.
+	run := func(hz float64) float64 {
+		cfg := DefaultConfig()
+		cfg.Cores = 1
+		cfg.FreqHz = hz
+		b := &fixedBackend{readLat: 100 * sim.Nanosecond, writeLat: 20 * sim.Nanosecond}
+		gens := []workload.Generator{workload.NewSynthetic(spec(t, "mcf"), 20000, 5)}
+		return Run(cfg, 0, gens, b).StallFraction(1)
+	}
+	low := run(0.8e9)
+	high := run(1.8e9)
+	if high <= low {
+		t.Fatalf("stall fraction did not grow with frequency: %.3f -> %.3f", low, high)
+	}
+}
+
+func TestMultiCoreFasterThanSingle(t *testing.T) {
+	b1 := &fixedBackend{readLat: 65 * sim.Nanosecond, writeLat: 15 * sim.Nanosecond}
+	b8 := &fixedBackend{readLat: 65 * sim.Nanosecond, writeLat: 15 * sim.Nanosecond}
+	s := spec(t, "Redis")
+	cfg := DefaultConfig()
+	single := Run(cfg, 0, Fanout(s, 1, 40000, 1), b1)
+	eight := Run(cfg, 0, Fanout(s, 8, 40000, 1), b8)
+	if eight.Elapsed*4 >= single.Elapsed {
+		t.Fatalf("8-core run not much faster: %v vs %v", eight.Elapsed, single.Elapsed)
+	}
+}
+
+func TestFanoutSingleThreadPinnedWithBackground(t *testing.T) {
+	s := spec(t, "bzip2") // single-threaded per Table II
+	gens := Fanout(s, 8, 1000, 1)
+	if len(gens) != 8 {
+		t.Fatalf("expected main + 7 background cores, got %d", len(gens))
+	}
+	if gens[0].Name() != "bzip2" {
+		t.Fatalf("core 0 runs %q", gens[0].Name())
+	}
+	for _, g := range gens[1:] {
+		if g.Name() != "kernel-threads" {
+			t.Fatalf("expected kernel-thread background, got %q", g.Name())
+		}
+	}
+	m := spec(t, "miniFE")
+	gens = Fanout(m, 8, 1000, 1)
+	if len(gens) != 8 || gens[7].Name() != "miniFE" {
+		t.Fatalf("multi-threaded workload fanout wrong")
+	}
+}
+
+func TestRunStartsAtGivenTime(t *testing.T) {
+	b := &fixedBackend{readLat: 10 * sim.Nanosecond}
+	gens := []workload.Generator{workload.NewSynthetic(spec(t, "AES"), 100, 1)}
+	start := sim.Time(5 * sim.Millisecond)
+	res := Run(DefaultConfig(), start, gens, b)
+	if res.Elapsed <= 0 || res.Elapsed > sim.Millisecond {
+		t.Fatalf("Elapsed = %v (should be relative to start)", res.Elapsed)
+	}
+}
+
+func TestResultZeroDivisions(t *testing.T) {
+	var r Result
+	if r.IPC(0) != 0 || r.IPC(8) != 0 || r.StallFraction(0) != 0 {
+		t.Fatal("zero-value Result must not divide by zero")
+	}
+}
+
+func TestStatsMergedAcrossCores(t *testing.T) {
+	b := &fixedBackend{readLat: 10 * sim.Nanosecond}
+	s := spec(t, "miniFE")
+	res := Run(DefaultConfig(), 0, Fanout(s, 4, 8000, 1), b)
+	if res.Stats.Reads+res.Stats.Writes != res.MemOps {
+		t.Fatalf("merged stats %d != memops %d",
+			res.Stats.Reads+res.Stats.Writes, res.MemOps)
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/nvdimm"
+	"repro/internal/psm"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/sng"
+)
+
+// AblationResult quantifies one design-choice ablation as a ratio
+// (ablated / full design) of the relevant metric.
+type AblationResult struct {
+	Name    string
+	Metric  string
+	Full    float64
+	Ablated float64
+}
+
+// Ratio is ablated over full (> 1 means the design choice pays off).
+func (a AblationResult) Ratio() float64 { return a.Ablated / a.Full }
+
+// AblationXCC isolates the XCC read-reconstruction path with a targeted
+// read-after-write pattern: write a line, then read it while its granules
+// are still cooling. Full design reconstructs from parity; ablated blocks.
+func AblationXCC(o Options) (AblationResult, *report.Table) {
+	run := func(xcc bool) float64 {
+		cfg := psm.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.XCC = xcc
+		cfg.RowBuffer = false // expose the raw media path
+		p := psm.New(cfg)
+		var total sim.Duration
+		now := sim.Time(0)
+		const n = 2000
+		for i := uint64(0); i < n; i++ {
+			line := i * 7
+			now = p.Write(now, line)
+			done := p.Read(now, line) // still cooling
+			total += done.Sub(now)
+			now = done
+		}
+		return float64(total / n)
+	}
+	res := AblationResult{
+		Name:    "XCC reconstruction",
+		Metric:  "RAW read latency",
+		Full:    run(true),
+		Ablated: run(false),
+	}
+	return res, ablationTable(res)
+}
+
+// AblationChannel compares the dual-channel Bare-NVDIMM layout against the
+// DRAM-like rank on a mixed stream (every write becomes a whole-rank
+// read-modify-write on the ablated layout).
+func AblationChannel(o Options) (AblationResult, *report.Table) {
+	run := func(layout nvdimm.Layout) float64 {
+		cfg := psm.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.NVDIMM.Layout = layout
+		cfg.RowBuffer = false
+		p := psm.New(cfg)
+		rng := sim.NewRNG(o.Seed)
+		now := sim.Time(0)
+		const n = 4000
+		for i := 0; i < n; i++ {
+			line := rng.Uint64n(1 << 20)
+			if i%4 == 0 {
+				now = p.Write(now, line)
+			} else {
+				now = p.Read(now, line)
+			}
+		}
+		return float64(now) / n
+	}
+	res := AblationResult{
+		Name:    "dual-channel layout",
+		Metric:  "mean service time",
+		Full:    run(nvdimm.DualChannel),
+		Ablated: run(nvdimm.DRAMLike),
+	}
+	return res, ablationTable(res)
+}
+
+// AblationRowBuffer compares overwrite bursts to a hot region with and
+// without the per-device row buffers: without aggregation, every overwrite
+// becomes a media program that serializes behind the cooling window and the
+// write-power budget.
+func AblationRowBuffer(o Options) (AblationResult, *report.Table) {
+	run := func(rowBuffer bool) float64 {
+		cfg := psm.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.RowBuffer = rowBuffer
+		p := psm.New(cfg)
+		now := sim.Time(0)
+		const n = 4000
+		for i := uint64(0); i < n; i++ {
+			now = p.Write(now, i%4) // tight overwrite loop
+		}
+		return float64(now) / n
+	}
+	res := AblationResult{
+		Name:    "row buffer",
+		Metric:  "hot-region write latency",
+		Full:    run(true),
+		Ablated: run(false),
+	}
+	return res, ablationTable(res)
+}
+
+// AblationBalance compares Drive-to-Idle's balanced sleeper distribution
+// against waking every sleeper onto one worker.
+func AblationBalance(o Options) (AblationResult, *report.Table) {
+	run := func(unbalanced bool) float64 {
+		cfg := kernel.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.SleepFraction = 0.7 // plenty of sleepers to distribute
+		k := kernel.New(cfg)
+		k.Tick(10)
+		s := sng.New(k)
+		s.Unbalanced = unbalanced
+		rep := s.Stop(0, sim.Time(10*sim.Second))
+		return float64(rep.ProcessStop)
+	}
+	res := AblationResult{
+		Name:    "balanced sleeper wake",
+		Metric:  "Drive-to-Idle latency",
+		Full:    run(false),
+		Ablated: run(true),
+	}
+	return res, ablationTable(res)
+}
+
+// AblationWearLevel compares the maximum per-row wear under a hot-line
+// write pattern with and without Start-Gap.
+func AblationWearLevel(o Options) (AblationResult, *report.Table) {
+	run := func(wearLevel bool) float64 {
+		cfg := psm.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.RowBuffer = false
+		cfg.NVDIMM.Device.TrackWear = true
+		if wearLevel {
+			// A small region with an aggressive threshold so the gap
+			// completes whole rotations inside the experiment (Start-Gap
+			// only relocates a line when the gap passes it — Section
+			// VIII discusses exactly this hot-line weakness).
+			cfg.WearLevelLines = 256
+			cfg.WearLevelThreshold = 1
+		}
+		p := psm.New(cfg)
+		now := sim.Time(0)
+		const n = 8000
+		for i := 0; i < n; i++ {
+			now = p.Write(now, 99) // pathologically hot line
+		}
+		var maxWear uint64
+		for _, d := range p.DIMMs() {
+			for _, dev := range d.Devices() {
+				if _, c := dev.MaxWear(); c > maxWear {
+					maxWear = c
+				}
+			}
+		}
+		return float64(maxWear)
+	}
+	res := AblationResult{
+		Name:    "Start-Gap wear leveling",
+		Metric:  "max per-row wear (hot line)",
+		Full:    run(true),
+		Ablated: run(false),
+	}
+	return res, ablationTable(res)
+}
+
+func ablationTable(a AblationResult) *report.Table {
+	t := report.New("Ablation: "+a.Name, "config", a.Metric, "ratio")
+	t.Add("full design", report.F(a.Full, 1), "1.00x")
+	t.Add("ablated", report.F(a.Ablated, 1), report.X(a.Ratio()))
+	return t
+}
+
+// Ablations runs all five design-choice studies.
+func Ablations(o Options) ([]AblationResult, []*report.Table) {
+	type fn func(Options) (AblationResult, *report.Table)
+	var results []AblationResult
+	var tables []*report.Table
+	for _, f := range []fn{AblationXCC, AblationChannel, AblationRowBuffer,
+		AblationBalance, AblationWearLevel} {
+		r, t := f(o)
+		results = append(results, r)
+		tables = append(tables, t)
+	}
+	return results, tables
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRelatedWorkAxes(t *testing.T) {
+	rows, tab := RelatedWork(QuickOptions())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]RelatedRow{}
+	for _, r := range rows {
+		byName[r.Mechanism] = r
+	}
+	sng := byName["LightPC (SnG)"]
+	if !sng.FitsHoldUp || !sng.ExactResume || sng.Vulnerable != 0 {
+		t.Fatalf("SnG row wrong: %+v", sng)
+	}
+	eadr := byName["eADR"]
+	if !eadr.FitsHoldUp || eadr.ExactResume {
+		t.Fatalf("eADR row wrong: %+v", eadr)
+	}
+	wsp := byName["WSP"]
+	if wsp.FitsHoldUp || wsp.Vulnerable == 0 {
+		t.Fatalf("WSP row wrong: %+v", wsp)
+	}
+	if tab.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestHybridECCRemovesMCEs(t *testing.T) {
+	rows, _ := HybridECC(QuickOptions())
+	for _, r := range rows {
+		if r.HybridMCEs != 0 {
+			t.Errorf("rate %.0e: hybrid left %d MCEs", r.BitErrorPerRead, r.HybridMCEs)
+		}
+		if r.XCCOnlyMCEs == 0 && r.BitErrorPerRead >= 5e-2 {
+			t.Errorf("rate %.0e: XCC-only saw no MCEs (test not exercising the gap)", r.BitErrorPerRead)
+		}
+		if r.HybridSymbolFix == 0 && r.BitErrorPerRead >= 5e-2 {
+			t.Errorf("rate %.0e: symbol code never used", r.BitErrorPerRead)
+		}
+	}
+	// Latency cost grows with the error rate but stays mild.
+	last := rows[len(rows)-1]
+	if last.HybridReadMean <= last.XCCReadMean {
+		// The hybrid pays decode latency on the symbol-repaired reads.
+		t.Errorf("hybrid read mean %v not above XCC-only %v at the highest rate",
+			last.HybridReadMean, last.XCCReadMean)
+	}
+}
+
+func TestSCheckPCPeriodTradeoff(t *testing.T) {
+	rows, _ := SCheckPCPeriod(QuickOptions())
+	if len(rows) < 2 {
+		t.Fatal("need at least two periods")
+	}
+	// Shorter period ⇒ more overhead; flush per checkpoint is constant in
+	// this model (dirty share per period is fixed).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Period <= rows[i-1].Period {
+			t.Fatal("periods not increasing")
+		}
+		if rows[i].Overhead >= rows[i-1].Overhead {
+			t.Errorf("overhead should shrink with longer periods: %v -> %v",
+				rows[i-1].Overhead, rows[i].Overhead)
+		}
+	}
+	if rows[0].Overhead < 1.5 {
+		t.Errorf("short-period overhead = %.2f, expected substantial", rows[0].Overhead)
+	}
+}
+
+func TestSeedRotationDefense(t *testing.T) {
+	res, _ := SeedRotation(QuickOptions())
+	if res.RotatedTargetWear*3 >= res.FixedSeedTargetWear {
+		t.Fatalf("rotation did not blunt the adversary: %d vs %d",
+			res.RotatedTargetWear, res.FixedSeedTargetWear)
+	}
+	if res.ScrubCost <= 0 || res.ScrubCost > sim.Second {
+		t.Fatalf("scrub cost implausible: %v", res.ScrubCost)
+	}
+}
+
+func TestFig21SeriesShape(t *testing.T) {
+	segs, tab := Fig21Series(QuickOptions())
+	if tab.String() == "" {
+		t.Fatal("empty table")
+	}
+	byMech := map[string][]TimelineSegment{}
+	for _, s := range segs {
+		byMech[s.Mechanism] = append(byMech[s.Mechanism], s)
+	}
+	for mech, ss := range byMech {
+		phases := map[string]TimelineSegment{}
+		for _, s := range ss {
+			phases[s.Phase] = s
+		}
+		if phases["off"].IPC != 0 {
+			t.Errorf("%s: IPC while off = %v", mech, phases["off"].IPC)
+		}
+		if phases["run"].IPC <= 0 || phases["resume"].IPC != phases["run"].IPC {
+			t.Errorf("%s: run/resume IPC inconsistent", mech)
+		}
+	}
+	// SnG's windows dwarf nothing: LightPC's power-down is ms-scale,
+	// SysPC's is seconds-scale.
+	light, sys := byMech["LightPC"], byMech["SysPC"]
+	var lightDown, sysDown sim.Duration
+	for _, s := range light {
+		if s.Phase == "power-down" {
+			lightDown = s.Duration
+		}
+	}
+	for _, s := range sys {
+		if s.Phase == "power-down" {
+			sysDown = s.Duration
+		}
+	}
+	if sysDown < 100*lightDown {
+		t.Errorf("SysPC down (%v) should dwarf LightPC's (%v)", sysDown, lightDown)
+	}
+	// Checkpointers carry the cold-boot spike; LightPC does not.
+	for _, mech := range []string{"A-CheckPC", "S-CheckPC"} {
+		found := false
+		for _, s := range byMech[mech] {
+			if s.Phase == "cold-boot" && s.IPC > 0.5 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s missing the cold-boot spike", mech)
+		}
+	}
+	for _, s := range byMech["LightPC"] {
+		if s.Phase == "cold-boot" {
+			t.Error("LightPC must not cold boot")
+		}
+	}
+}
+
+func TestInterconnectSensitivity(t *testing.T) {
+	rows, tab := Interconnect(QuickOptions())
+	if tab.String() == "" {
+		t.Fatal("empty table")
+	}
+	lat := map[string]map[int]sim.Duration{}
+	for _, r := range rows {
+		if lat[r.Topology.String()] == nil {
+			lat[r.Topology.String()] = map[int]sim.Duration{}
+		}
+		lat[r.Topology.String()][r.Cores] = r.MeanLat
+	}
+	// At 8 cores the bus hurts; the crossbar barely moves.
+	if lat["shared-bus"][8] <= lat["crossbar"][8] {
+		t.Fatal("shared bus should be slower at 8 cores")
+	}
+	busGrowth := float64(lat["shared-bus"][8]) / float64(lat["shared-bus"][2])
+	xbarGrowth := float64(lat["crossbar"][8]) / float64(lat["crossbar"][2])
+	if busGrowth <= xbarGrowth {
+		t.Fatalf("bus latency growth (%.2f) should exceed crossbar's (%.2f)",
+			busGrowth, xbarGrowth)
+	}
+}
+
+func TestEnduranceProjection(t *testing.T) {
+	rows, tab := Endurance(QuickOptions())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if tab.String() == "" {
+		t.Fatal("empty table")
+	}
+	for i, r := range rows {
+		if r.YearsLeveled <= r.YearsUnleveled {
+			t.Errorf("endurance %.0e: leveling must extend lifetime (%.2f vs %.2f years)",
+				r.EnduranceCycles, r.YearsLeveled, r.YearsUnleveled)
+		}
+		if i > 0 && r.YearsLeveled <= rows[i-1].YearsLeveled {
+			t.Error("lifetime must grow with endurance")
+		}
+	}
+	// The Section VIII position: even at today's 1e8-1e9 endurance the
+	// leveled lifetime is years, because reads dominate and PRAM has no
+	// refresh traffic.
+	if rows[2].YearsLeveled < 1 {
+		t.Errorf("1e9 endurance gives only %.2f leveled years", rows[2].YearsLeveled)
+	}
+}
+
+func TestIntroMotivationOrdering(t *testing.T) {
+	rows, tab := IntroMotivation(QuickOptions())
+	if len(rows) != 3 || tab.String() == "" {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]sim.Duration{}
+	for _, r := range rows {
+		byName[r.Mechanism] = r.PerOp
+	}
+	light := byName["LightPC (plain store)"]
+	wal := byName["journaling (WAL + barrier)"]
+	tx := byName["PMDK transaction"]
+	if !(light < tx && tx < wal) {
+		t.Fatalf("cost ordering broken: light=%v tx=%v wal=%v", light, tx, wal)
+	}
+	// Orders of magnitude apart: the Section I story.
+	if wal < 20*light {
+		t.Fatalf("journaling (%v) should dwarf LightPC (%v)", wal, light)
+	}
+}

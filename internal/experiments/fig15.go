@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	lightpc "repro"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Fig15Row is one workload's execution time on the three platforms.
+type Fig15Row struct {
+	Workload string
+	Legacy   sim.Duration
+	Baseline sim.Duration // LightPC-B
+	LightPC  sim.Duration
+}
+
+// FullOverLegacy is LightPC / LegacyPC (paper: ~1.12 on average).
+func (r Fig15Row) FullOverLegacy() float64 {
+	return float64(r.LightPC) / float64(r.Legacy)
+}
+
+// BaselineOverFull is LightPC-B / LightPC (paper: ~2.8× on average).
+func (r Fig15Row) BaselineOverFull() float64 {
+	return float64(r.Baseline) / float64(r.LightPC)
+}
+
+// Fig15Result aggregates the suite.
+type Fig15Result struct {
+	Rows []Fig15Row
+}
+
+// MeanFullOverLegacy averages LightPC/LegacyPC across workloads.
+func (r Fig15Result) MeanFullOverLegacy() float64 {
+	var s float64
+	for _, row := range r.Rows {
+		s += row.FullOverLegacy()
+	}
+	return s / float64(len(r.Rows))
+}
+
+// MeanBaselineOverFull averages LightPC-B/LightPC across workloads.
+func (r Fig15Result) MeanBaselineOverFull() float64 {
+	var s float64
+	for _, row := range r.Rows {
+		s += row.BaselineOverFull()
+	}
+	return s / float64(len(r.Rows))
+}
+
+// Fig15ExecLatency reproduces Figure 15: in-memory execution time of every
+// workload on LegacyPC, LightPC-B, and LightPC.
+func Fig15ExecLatency(o Options) (Fig15Result, *report.Table) {
+	var res Fig15Result
+	for _, s := range specs(o) {
+		row := Fig15Row{Workload: s.Name}
+		l, _ := runOn(lightpc.LegacyPC, s, o)
+		row.Legacy = l.Elapsed
+		b, _ := runOn(lightpc.LightPCB, s, o)
+		row.Baseline = b.Elapsed
+		f, _ := runOn(lightpc.LightPCFull, s, o)
+		row.LightPC = f.Elapsed
+		res.Rows = append(res.Rows, row)
+	}
+	t := report.New("Fig 15: in-memory execution latency",
+		"workload", "LegacyPC", "LightPC-B", "LightPC", "LightPC/Legacy", "B/LightPC")
+	for _, r := range res.Rows {
+		t.Add(r.Workload, report.Dur(r.Legacy), report.Dur(r.Baseline),
+			report.Dur(r.LightPC), report.X(r.FullOverLegacy()),
+			report.X(r.BaselineOverFull()))
+	}
+	t.Add("AVG", "", "", "", report.X(res.MeanFullOverLegacy()),
+		report.X(res.MeanBaselineOverFull()))
+	t.Note("paper: LightPC ~12%% slower than LegacyPC; LightPC 2.8x faster than LightPC-B (4.1x for SNAP/astar)")
+	return res, t
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	lightpc "repro"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Fig16Row is one workload's memory-level read latency comparison.
+type Fig16Row struct {
+	Workload    string
+	BaselineLat sim.Duration // mean PSM read latency on LightPC-B
+	LightPCLat  sim.Duration
+}
+
+// Penalty is LightPC-B read latency over LightPC (paper: 7–14.8×, avg ~9×).
+func (r Fig16Row) Penalty() float64 {
+	return float64(r.BaselineLat) / float64(r.LightPCLat)
+}
+
+// Fig16Result aggregates the suite.
+type Fig16Result struct {
+	Rows []Fig16Row
+}
+
+// MeanPenalty averages the read-latency penalty.
+func (r Fig16Result) MeanPenalty() float64 {
+	var s float64
+	for _, row := range r.Rows {
+		s += row.Penalty()
+	}
+	return s / float64(len(r.Rows))
+}
+
+// Fig16ReadLatency reproduces Figure 16: LightPC-B's memory-level read
+// latency normalized to LightPC, per workload — the head-of-line-blocking
+// cost the PSM's non-blocking services remove.
+func Fig16ReadLatency(o Options) (Fig16Result, *report.Table) {
+	var res Fig16Result
+	for _, s := range specs(o) {
+		_, pb := runOn(lightpc.LightPCB, s, o)
+		_, pf := runOn(lightpc.LightPCFull, s, o)
+		res.Rows = append(res.Rows, Fig16Row{
+			Workload:    s.Name,
+			BaselineLat: pb.PSM().ReadLatency().Mean(),
+			LightPCLat:  pf.PSM().ReadLatency().Mean(),
+		})
+	}
+	t := report.New("Fig 16: LightPC-B read latency normalized to LightPC",
+		"workload", "LightPC-B", "LightPC", "penalty")
+	for _, r := range res.Rows {
+		t.Add(r.Workload, report.Dur(r.BaselineLat), report.Dur(r.LightPCLat),
+			report.X(r.Penalty()))
+	}
+	t.Add("AVG", "", "", report.X(res.MeanPenalty()))
+	t.Note("paper: 7x to 14.8x (wrf highest via forecast-history read-after-writes, mcf lowest), ~9x on average")
+	return res, t
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	lightpc "repro"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Fig17Row is one STREAM kernel's sustainable bandwidth on both platforms.
+type Fig17Row struct {
+	Kernel    workload.Kernel
+	LegacyBW  float64 // bytes/sec
+	LightPCBW float64
+}
+
+// Normalized is LightPC bandwidth over LegacyPC (paper: ~78% average;
+// Add/Triad closest to 1).
+func (r Fig17Row) Normalized() float64 { return r.LightPCBW / r.LegacyBW }
+
+// Fig17Result aggregates the four kernels.
+type Fig17Result struct {
+	Rows []Fig17Row
+}
+
+// MeanNormalized averages the normalized bandwidth.
+func (r Fig17Result) MeanNormalized() float64 {
+	var s float64
+	for _, row := range r.Rows {
+		s += row.Normalized()
+	}
+	return s / float64(len(r.Rows))
+}
+
+// Fig17Stream reproduces Figure 17: STREAM sustainable bandwidth on
+// LightPC normalized to LegacyPC.
+func Fig17Stream(o Options) (Fig17Result, *report.Table) {
+	elements := uint64(200_000)
+	if o.Quick {
+		elements = 40_000
+	}
+	run := func(kind lightpc.Kind, k workload.Kernel) float64 {
+		cfg := lightpc.DefaultConfig(kind)
+		cfg.Seed = o.Seed
+		p := lightpc.New(cfg)
+		// One stream per core, disjoint element ranges via distinct
+		// generators (STREAM runs with OpenMP threads).
+		gens := make([]workload.Generator, cfg.CPU.Cores)
+		for i := range gens {
+			gens[i] = workload.NewStream(k, elements/uint64(cfg.CPU.Cores))
+		}
+		res := p.RunGenerators("STREAM-"+k.String(), gens, true)
+		if res.Elapsed <= 0 {
+			return 0
+		}
+		bytes := float64(elements) * float64(k.BytesPerElement())
+		return bytes / res.Elapsed.Seconds()
+	}
+	var res Fig17Result
+	for _, k := range workload.Kernels() {
+		res.Rows = append(res.Rows, Fig17Row{
+			Kernel:    k,
+			LegacyBW:  run(lightpc.LegacyPC, k),
+			LightPCBW: run(lightpc.LightPCFull, k),
+		})
+	}
+	t := report.New("Fig 17: STREAM bandwidth (LightPC normalized to LegacyPC)",
+		"kernel", "LegacyPC GB/s", "LightPC GB/s", "normalized")
+	for _, r := range res.Rows {
+		t.Add(r.Kernel.String(), report.F(r.LegacyBW/1e9, 2),
+			report.F(r.LightPCBW/1e9, 2), report.Pct(r.Normalized()))
+	}
+	t.Add("AVG", "", "", report.Pct(res.MeanNormalized()))
+	t.Note("paper: ~78%% of LegacyPC on average; Add/Triad closer (more reads per element)")
+	return res, t
+}

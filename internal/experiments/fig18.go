@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	lightpc "repro"
+	"repro/internal/report"
+)
+
+// Fig18Row is one workload's power/energy on the three platforms.
+type Fig18Row struct {
+	Workload string
+
+	LegacyW, BaselineW, LightW float64
+	LegacyJ, BaselineJ, LightJ float64
+}
+
+// Fig18Result aggregates the suite.
+type Fig18Result struct {
+	Rows []Fig18Row
+}
+
+// MeanPowerRatio is LightPC power over LegacyPC (paper: ~0.28 — 73% lower).
+func (r Fig18Result) MeanPowerRatio() float64 {
+	var s float64
+	for _, row := range r.Rows {
+		s += row.LightW / row.LegacyW
+	}
+	return s / float64(len(r.Rows))
+}
+
+// MeanEnergySaving is 1 − LightPC energy / LegacyPC energy (paper: ~69%).
+func (r Fig18Result) MeanEnergySaving() float64 {
+	var s float64
+	for _, row := range r.Rows {
+		s += 1 - row.LightJ/row.LegacyJ
+	}
+	return s / float64(len(r.Rows))
+}
+
+// BaselineEnergySaving is the same for LightPC-B (paper: only ~8.2% — the
+// longer execution eats the power win).
+func (r Fig18Result) BaselineEnergySaving() float64 {
+	var s float64
+	for _, row := range r.Rows {
+		s += 1 - row.BaselineJ/row.LegacyJ
+	}
+	return s / float64(len(r.Rows))
+}
+
+// Fig18PowerEnergy reproduces Figure 18: system power and energy for the
+// in-memory executions on the three platforms.
+func Fig18PowerEnergy(o Options) (Fig18Result, *report.Table) {
+	var res Fig18Result
+	for _, s := range specs(o) {
+		l, _ := runOn(lightpc.LegacyPC, s, o)
+		b, _ := runOn(lightpc.LightPCB, s, o)
+		f, _ := runOn(lightpc.LightPCFull, s, o)
+		res.Rows = append(res.Rows, Fig18Row{
+			Workload: s.Name,
+			LegacyW:  l.AvgPowerW, BaselineW: b.AvgPowerW, LightW: f.AvgPowerW,
+			LegacyJ: l.EnergyJ, BaselineJ: b.EnergyJ, LightJ: f.EnergyJ,
+		})
+	}
+	t := report.New("Fig 18: power and energy",
+		"workload", "Legacy W", "B W", "LightPC W", "Legacy J", "B J", "LightPC J")
+	for _, r := range res.Rows {
+		t.Add(r.Workload, report.F(r.LegacyW, 1), report.F(r.BaselineW, 1),
+			report.F(r.LightW, 1), report.F(r.LegacyJ, 4),
+			report.F(r.BaselineJ, 4), report.F(r.LightJ, 4))
+	}
+	t.Note("power ratio LightPC/Legacy = %s (paper ~28%%)", report.Pct(res.MeanPowerRatio()))
+	t.Note("energy saving LightPC = %s (paper ~69%%), LightPC-B = %s (paper ~8.2%%)",
+		report.Pct(res.MeanEnergySaving()), report.Pct(res.BaselineEnergySaving()))
+	return res, t
+}

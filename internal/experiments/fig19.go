@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	lightpc "repro"
+	"repro/internal/persist"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig19Row is one workload × mechanism outcome.
+type Fig19Row struct {
+	Workload string
+	Outcome  persist.Outcome
+}
+
+// Fig19Result aggregates the persistent-computing comparison.
+type Fig19Result struct {
+	Rows []Fig19Row
+	// MeanRatio maps mechanism name to its mean total-time ratio over
+	// LightPC (paper: SysPC 1.6×, A-CheckPC 8.8×, S-CheckPC 2.4×).
+	MeanRatio map[string]float64
+}
+
+// profiles builds the per-workload execution profiles from sampled LightPC
+// runs scaled to the full Table II reference counts. Instruction counts are
+// derived from the benchmark's own reference count and compute gap (the
+// ambient kernel-thread traffic must not inflate the checkpoint frequency).
+func profiles(o Options) []persist.Profile {
+	var out []persist.Profile
+	for _, s := range specs(o) {
+		res, _ := runOn(lightpc.LightPCFull, s, o)
+		scale := scaleToFull(s, res, o.SampleOps)
+		fullRefs := s.Reads + s.Writes
+		instr := uint64(fullRefs) * uint64(workload.GapCycles(s)+1)
+		out = append(out, persist.Profile{
+			Name:           s.Name,
+			ExecTime:       sim.Duration(float64(res.Elapsed) * scale),
+			Instructions:   instr,
+			FootprintBytes: s.FootprintBytes,
+			DirtyFraction:  0.5,
+		})
+	}
+	return out
+}
+
+// Fig19Persistence reproduces Figures 19a–c: execution cycles (benchmark +
+// persistence control) for SysPC, A-CheckPC, and S-CheckPC, normalized to
+// LightPC, across the suite with one power cycle.
+func Fig19Persistence(o Options) (Fig19Result, *report.Table) {
+	res := Fig19Result{MeanRatio: map[string]float64{}}
+	mechs := persist.All()
+	profs := profiles(o)
+
+	totals := map[string]sim.Duration{}
+	lightTotals := map[string]sim.Duration{}
+	for _, p := range profs {
+		var light persist.Outcome
+		for _, m := range mechs {
+			out := m.Run(p)
+			res.Rows = append(res.Rows, Fig19Row{Workload: p.Name, Outcome: out})
+			totals[m.Name()] += out.Total()
+			if m.Name() == "LightPC" {
+				light = out
+			}
+		}
+		lightTotals[p.Name] = light.Total()
+	}
+	for _, m := range mechs {
+		var sum float64
+		for _, p := range profs {
+			for _, r := range res.Rows {
+				if r.Workload == p.Name && r.Outcome.Mechanism == m.Name() {
+					sum += float64(r.Outcome.Total()) / float64(lightTotals[p.Name])
+				}
+			}
+		}
+		res.MeanRatio[m.Name()] = sum / float64(len(profs))
+	}
+
+	t := report.New("Fig 19: persistent-computing execution overhead",
+		"mechanism", "mean bench", "mean persist ctl", "total/LightPC")
+	for _, m := range mechs {
+		var bench, ctl sim.Duration
+		n := 0
+		for _, r := range res.Rows {
+			if r.Outcome.Mechanism == m.Name() {
+				bench += r.Outcome.BenchTime
+				ctl += r.Outcome.PersistControl
+				n++
+			}
+		}
+		t.Add(m.Name(), report.Dur(bench/sim.Duration(n)),
+			report.Dur(ctl/sim.Duration(n)), report.X(res.MeanRatio[m.Name()]))
+	}
+	t.Note("paper: LightPC shorter than SysPC/A-CheckPC/S-CheckPC by 1.6x/8.8x/2.4x; SnG is ~0.3%% of execution")
+	return res, t
+}
+
+// Fig20Row compares one mechanism's power-down flush against the hold-up
+// windows.
+type Fig20Row struct {
+	Mechanism string
+	Flush     sim.Duration
+	VsATX     float64
+	VsServer  float64
+}
+
+// Fig20Flush reproduces Figure 20: flush latency at power-down vs the
+// measured PSU hold-up times.
+func Fig20Flush(o Options) ([]Fig20Row, *report.Table) {
+	profs := profiles(o)
+	atx := power.ATX().HoldUp(18.9)
+	srv := power.Server().HoldUp(18.9)
+
+	var rows []Fig20Row
+	for _, m := range persist.All() {
+		var sum sim.Duration
+		for _, p := range profs {
+			sum += m.Run(p).FlushAtPowerDown
+		}
+		mean := sum / sim.Duration(len(profs))
+		rows = append(rows, Fig20Row{
+			Mechanism: m.Name(),
+			Flush:     mean,
+			VsATX:     float64(mean) / float64(atx),
+			VsServer:  float64(mean) / float64(srv),
+		})
+	}
+	t := report.New("Fig 20: power-down flush vs PSU hold-up",
+		"mechanism", "flush", "vs ATX (22ms)", "vs server (55ms)")
+	for _, r := range rows {
+		t.Add(r.Mechanism, report.Dur(r.Flush), report.X(r.VsATX), report.X(r.VsServer))
+	}
+	t.Note("paper: SysPC 172x/112x the ATX/server windows; S-CheckPC 3.5x/1.4x; LightPC's Stop fits inside both")
+	return rows, t
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment outputs")
+
+// TestGoldenOutputs locks every experiment's rendered output against
+// checked-in golden files: the simulation is seeded and single-threaded,
+// so any diff is a real behaviour change. Regenerate intentionally with
+//
+//	go test ./internal/experiments -run Golden -update
+func TestGoldenOutputs(t *testing.T) {
+	o := QuickOptions()
+	for _, n := range All() {
+		n := n
+		t.Run(n.ID, func(t *testing.T) {
+			var b strings.Builder
+			for _, tab := range n.Run(o) {
+				b.WriteString(tab.String())
+				b.WriteString("\n")
+			}
+			got := b.String()
+			path := filepath.Join("testdata", n.ID+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output changed; first diff near:\n%s\n---\nregenerate with -update if intentional",
+					n.ID, firstDiff(got, string(want)))
+			}
+		})
+	}
+}
+
+// firstDiff shows the first differing line pair.
+func firstDiff(got, want string) string {
+	g := strings.Split(got, "\n")
+	w := strings.Split(want, "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return "got:  " + g[i] + "\nwant: " + w[i]
+		}
+	}
+	return "length mismatch"
+}

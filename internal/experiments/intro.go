@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"repro/internal/journal"
+	"repro/internal/memctrl"
+	"repro/internal/pmdk"
+	"repro/internal/pmemdimm"
+	"repro/internal/psm"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// IntroRow is one per-operation persistence-cost measurement.
+type IntroRow struct {
+	Mechanism string
+	PerOp     sim.Duration
+}
+
+// IntroMotivation quantifies Section I's opening argument: the
+// per-operation price of crash consistency under journaling (WAL +
+// barrier on block storage), PMDK transactions (undo log + pmem_persist),
+// and LightPC's orthogonal persistence (a plain store to OC-PMEM).
+func IntroMotivation(o Options) ([]IntroRow, *report.Table) {
+	n := uint64(2000)
+	if o.Quick {
+		n = 500
+	}
+
+	var rows []IntroRow
+
+	// Journaling over PMEM sector mode.
+	{
+		j := journal.Open(pmemdimm.NewSectorDevice(pmemdimm.New(withSeed(o.Seed))))
+		now := sim.Time(0)
+		for i := uint64(0); i < n; i++ {
+			now = j.Put(now, i%64, i)
+			now = j.Commit(now)
+		}
+		rows = append(rows, IntroRow{"journaling (WAL + barrier)", now.Sub(0) / sim.Duration(n)})
+	}
+
+	// PMDK transaction mode over app-direct PMEM.
+	{
+		pd := pmemdimm.New(withSeed(o.Seed))
+		app := &memctrl.PMEMBackend{DIMM: pd, DAXLatency: sim.FromNanoseconds(2)}
+		tx := pmdk.DefaultTxBackend(app, pd)
+		now := sim.Time(0)
+		for i := uint64(0); i < n; i++ {
+			now = tx.Write(now, (i%64)*64)
+		}
+		rows = append(rows, IntroRow{"PMDK transaction", now.Sub(0) / sim.Duration(n)})
+	}
+
+	// LightPC: a plain store through the PSM.
+	{
+		p := psm.New(func() psm.Config {
+			c := psm.DefaultConfig()
+			c.Seed = o.Seed
+			return c
+		}())
+		now := sim.Time(0)
+		for i := uint64(0); i < n; i++ {
+			now = p.Write(now, i%64)
+		}
+		rows = append(rows, IntroRow{"LightPC (plain store)", now.Sub(0) / sim.Duration(n)})
+	}
+
+	t := report.New("Section I motivation: per-operation durability cost",
+		"mechanism", "per-op", "vs LightPC")
+	base := rows[len(rows)-1].PerOp
+	for _, r := range rows {
+		t.Add(r.Mechanism, report.Dur(r.PerOp), report.X(float64(r.PerOp)/float64(base)))
+	}
+	t.Note("journaling pays data replication + serialized log I/O + barriers per transaction; LightPC's orthogonal persistence pays none of it (SnG amortizes persistence control to one Stop per power event)")
+	return rows, t
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/psm"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// NoCRow is one interconnect configuration's result.
+type NoCRow struct {
+	Topology noc.Topology
+	Cores    int
+	MeanLat  sim.Duration
+	MeanWait sim.Duration
+}
+
+// Interconnect quantifies the prototype's multi-point network choice
+// ([25], Figure 6b): concurrent cores hammering OC-PMEM through a shared
+// bus versus the crossbar. The crossbar preserves the channel-level
+// parallelism the open-channel design creates; a bus squanders it.
+func Interconnect(o Options) ([]NoCRow, *report.Table) {
+	coreCounts := []int{2, 4, 8}
+	if o.Quick {
+		coreCounts = []int{2, 8}
+	}
+	n := 4000
+	if o.Quick {
+		n = 1500
+	}
+	run := func(topo noc.Topology, cores int) (sim.Duration, sim.Duration) {
+		ncfg := noc.DefaultConfig()
+		ncfg.Topology = topo
+		ncfg.Masters = cores
+		net := noc.New(ncfg)
+		pcfg := psm.DefaultConfig()
+		pcfg.Seed = o.Seed
+		p := psm.New(pcfg)
+		rng := sim.NewRNG(o.Seed)
+		// Each core keeps one outstanding request; the network routes it
+		// to the PSM port for the target DIMM.
+		times := make([]sim.Time, cores)
+		var total sim.Duration
+		for i := 0; i < n; i++ {
+			core := i % cores
+			line := rng.Uint64n(1 << 22)
+			start := times[core]
+			at := net.Transfer(start, core, net.SlaveFor(line))
+			var done sim.Time
+			if i%5 == 0 {
+				done = p.Write(at, line)
+			} else {
+				done = p.Read(at, line)
+			}
+			total += done.Sub(start)
+			times[core] = done
+		}
+		_, wait := net.Stats()
+		return total / sim.Duration(n), wait
+	}
+	var rows []NoCRow
+	for _, topo := range []noc.Topology{noc.Crossbar, noc.SharedBus} {
+		for _, cores := range coreCounts {
+			lat, wait := run(topo, cores)
+			rows = append(rows, NoCRow{Topology: topo, Cores: cores,
+				MeanLat: lat, MeanWait: wait})
+		}
+	}
+	t := report.New("Extension: interconnect sensitivity (TileLink multi-point network)",
+		"topology", "cores", "mean access latency", "mean arbitration wait")
+	for _, r := range rows {
+		t.Add(r.Topology.String(), fmt.Sprintf("%d", r.Cores),
+			report.Dur(r.MeanLat), report.Dur(r.MeanWait))
+	}
+	t.Note("the prototype's crossbar keeps per-channel parallelism; a shared bus erodes it as cores scale")
+	return rows, t
+}

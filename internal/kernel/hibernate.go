@@ -1,0 +1,110 @@
+package kernel
+
+// Hibernation is SysPC's functional path (Section VI): on a sleep signal,
+// LegacyPC freezes every task and streams its volatile system image — DRAM
+// contents, PCB catalog, machine registers — into OC-PMEM. Unlike SnG this
+// happens in seconds, not milliseconds (the timing lives in
+// internal/persist); this file provides the state mechanics so exact
+// resumption is verifiable for SysPC too.
+
+// hibBase is the reserved OC-PMEM region for system images.
+const hibBase = 0xE0_0000_0000
+
+const (
+	hibMagicOff = 0
+	hibCountOff = 8
+	hibProcOff  = 64
+	hibDRAMOff  = 1 << 40
+)
+
+const hibMagic = 0x5359_5350_43_1 // "SYSPC"
+
+// Hibernate freezes the system and stores its image into OC-PMEM. It
+// returns the number of words moved (the image size the timing model
+// prices). Every task is parked first (the image must be immutable).
+func (k *Kernel) Hibernate() int {
+	for _, p := range k.Alive() {
+		if p.State == TaskSleeping {
+			// Image capture does not need to wake sleepers: their saved
+			// context is already coherent; just detach from the queue.
+			if p.wq != nil {
+				p.wq.remove(p)
+				p.wq = nil
+			}
+			p.State = TaskUninterruptible
+			continue
+		}
+		k.Park(p)
+	}
+	moved := 0
+	// PCB catalog: pid, state placeholder, core, nice, vruntime.
+	k.OCPMEM.Write(hibBase+hibMagicOff, hibMagic)
+	k.OCPMEM.Write(hibBase+hibCountOff, uint64(len(k.Procs)))
+	for i, p := range k.Procs {
+		base := hibBase + hibProcOff + uint64(i)*40
+		k.OCPMEM.Write(base, uint64(p.PID))
+		k.OCPMEM.Write(base+8, uint64(int64(p.CoreID)))
+		k.OCPMEM.Write(base+16, uint64(int64(p.Nice)))
+		k.OCPMEM.Write(base+24, p.VRuntime)
+		moved += 4
+	}
+	// Machine registers via the bootloader (the part A/S-CheckPC cannot
+	// capture).
+	for _, c := range k.Cores {
+		k.Boot.SaveCoreRegisters(c)
+		moved += len(c.MRegs)
+	}
+	// The big part: all of DRAM (LegacyPC keeps everything there).
+	if k.DRAM != nil {
+		moved += k.DRAM.CopyTo(k.OCPMEM, hibBase+hibDRAMOff)
+	}
+	return moved
+}
+
+// HasHibernationImage reports whether a stored image exists.
+func (k *Kernel) HasHibernationImage() bool {
+	return k.OCPMEM.Read(hibBase+hibMagicOff) == hibMagic
+}
+
+// ResumeFromHibernate reloads the image after power returns: DRAM contents
+// come back, machine registers reload through the bootloader, and every
+// parked task becomes runnable on its recorded core. It reports false when
+// no image exists (cold boot instead).
+func (k *Kernel) ResumeFromHibernate() bool {
+	if !k.HasHibernationImage() {
+		return false
+	}
+	if k.DRAM != nil {
+		k.DRAM.RestoreFrom(k.OCPMEM, hibBase+hibDRAMOff)
+	}
+	for _, c := range k.Cores {
+		c.Online = true
+		k.Boot.RestoreCoreRegisters(c)
+	}
+	byPID := map[uint64]*Process{}
+	for _, p := range k.Procs {
+		byPID[uint64(p.PID)] = p
+	}
+	count := k.OCPMEM.Read(hibBase + hibCountOff)
+	for i := uint64(0); i < count; i++ {
+		base := hibBase + hibProcOff + i*40
+		p := byPID[k.OCPMEM.Read(base)]
+		if p == nil {
+			continue
+		}
+		p.CoreID = int(int64(k.OCPMEM.Read(base + 8)))
+		p.Nice = int(int64(k.OCPMEM.Read(base + 16)))
+		p.VRuntime = k.OCPMEM.Read(base + 24)
+		if p.State == TaskStopped {
+			// The PCB struct itself was volatile on LegacyPC; the image
+			// carries it back.
+			p.State = TaskUninterruptible
+		}
+		k.Unpark(p)
+	}
+	// Consume the image (a second power loss before the next hibernate
+	// must cold boot).
+	k.OCPMEM.Write(hibBase+hibMagicOff, 0)
+	k.ScheduleAll()
+	return true
+}

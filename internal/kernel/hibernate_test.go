@@ -1,0 +1,117 @@
+package kernel
+
+import "testing"
+
+func legacyKernel(seed uint64) *Kernel {
+	cfg := DefaultConfig()
+	cfg.PersistentProcs = false
+	cfg.Seed = seed
+	k := New(cfg)
+	k.Tick(15)
+	return k
+}
+
+func TestHibernateResumeRoundTrip(t *testing.T) {
+	k := legacyKernel(1)
+	// Capture the saved-context digests hibernation must preserve.
+	moved := k.Hibernate()
+	if moved == 0 {
+		t.Fatal("empty image")
+	}
+	want := map[int]uint64{}
+	for _, p := range k.Procs {
+		p.RestoreContext()
+		want[p.PID] = p.Checksum()
+	}
+	if !k.HasHibernationImage() {
+		t.Fatal("no image recorded")
+	}
+
+	k.PowerLoss()
+	if k.DRAM.Len() != 0 {
+		t.Fatal("DRAM survived")
+	}
+
+	if !k.ResumeFromHibernate() {
+		t.Fatal("resume failed despite image")
+	}
+	for _, p := range k.Procs {
+		if p.State != TaskRunnable && p.State != TaskRunning {
+			t.Fatalf("pid %d in state %v after resume", p.PID, p.State)
+		}
+		p.RestoreContext()
+		if p.Checksum() != want[p.PID] {
+			t.Fatalf("pid %d state diverged across hibernation", p.PID)
+		}
+	}
+	// The system runs again.
+	k.Tick(5)
+}
+
+func TestHibernateImageConsumed(t *testing.T) {
+	k := legacyKernel(2)
+	k.Hibernate()
+	k.PowerLoss()
+	if !k.ResumeFromHibernate() {
+		t.Fatal("first resume failed")
+	}
+	// A second failure without a fresh image cannot resume.
+	k.PowerLoss()
+	if k.ResumeFromHibernate() {
+		t.Fatal("resumed from a consumed image")
+	}
+}
+
+func TestResumeWithoutImageColdBoots(t *testing.T) {
+	k := legacyKernel(3)
+	k.PowerLoss()
+	if k.ResumeFromHibernate() {
+		t.Fatal("resumed from nothing")
+	}
+}
+
+func TestHibernatePreservesSchedulerMetadata(t *testing.T) {
+	k := legacyKernel(4)
+	var ref *Process
+	for _, p := range k.Procs {
+		if !p.Kernel {
+			ref = p
+			break
+		}
+	}
+	refNice := ref.Nice
+	k.Hibernate()
+	k.PowerLoss()
+	k.ResumeFromHibernate()
+	if ref.Nice != refNice {
+		t.Fatalf("nice lost: %d vs %d", ref.Nice, refNice)
+	}
+	if !schedulerConsistent(k) {
+		t.Fatal("scheduler inconsistent after resume")
+	}
+}
+
+func TestHibernateWorksOnLightPCToo(t *testing.T) {
+	// OC-PMEM systems can hibernate as well (SnG just makes it
+	// unnecessary).
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	k := New(cfg)
+	k.Tick(10)
+	k.Hibernate()
+	k.PowerLoss()
+	if !k.ResumeFromHibernate() {
+		t.Fatal("resume failed")
+	}
+	k.Tick(3)
+}
+
+func TestPowerLossClearsVolatileWaitQueues(t *testing.T) {
+	k := legacyKernel(6)
+	k.PowerLoss()
+	for _, wq := range k.Queues() {
+		if wq.Waiters() != 0 {
+			t.Fatalf("queue %s kept waiters across DRAM loss", wq.Name)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPopulatesSystem(t *testing.T) {
+	k := New(DefaultConfig())
+	if len(k.Procs) != 120 {
+		t.Fatalf("procs = %d, want 120 (72 user + 48 kernel)", len(k.Procs))
+	}
+	if len(k.Cores) != 8 || len(k.Devices) != 250 {
+		t.Fatalf("cores/devices = %d/%d", len(k.Cores), len(k.Devices))
+	}
+	if k.DRAM != nil {
+		t.Fatal("LightPC config should not have a DRAM bank")
+	}
+	if !k.ProcBank().Persistent() {
+		t.Fatal("LightPC proc bank must be persistent")
+	}
+}
+
+func TestLegacyConfigUsesDRAM(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PersistentProcs = false
+	k := New(cfg)
+	if k.DRAM == nil || k.ProcBank() != k.DRAM {
+		t.Fatal("LegacyPC procs must live in DRAM")
+	}
+	if k.DRAM.Persistent() {
+		t.Fatal("DRAM must be volatile")
+	}
+}
+
+func TestTickAdvancesProcesses(t *testing.T) {
+	k := New(DefaultConfig())
+	before := k.ProcsChecksum()
+	k.Tick(10)
+	if k.ProcsChecksum() == before {
+		t.Fatal("Tick changed nothing")
+	}
+}
+
+func TestSchedulerRoundRobin(t *testing.T) {
+	k := New(DefaultConfig())
+	c := k.Cores[0]
+	if c.Current == nil {
+		t.Skip("core 0 started idle in this seed")
+	}
+	first := c.Current
+	k.Tick(1)
+	if c.Current == first && len(c.RunQueue) > 0 {
+		t.Fatal("round-robin did not rotate")
+	}
+}
+
+func TestWakeToCore(t *testing.T) {
+	k := New(DefaultConfig())
+	sleepers := k.Sleepers()
+	if len(sleepers) == 0 {
+		t.Fatal("no sleepers in busy config")
+	}
+	p := sleepers[0]
+	k.WakeToCore(p, 3)
+	if p.State != TaskRunnable || p.CoreID != 3 {
+		t.Fatalf("wake failed: %v on core %d", p.State, p.CoreID)
+	}
+	found := false
+	for _, q := range k.Cores[3].RunQueue {
+		if q == p {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("woken process not on run queue")
+	}
+	// Waking a non-sleeper is a no-op.
+	k.WakeToCore(p, 5)
+	if p.CoreID != 3 {
+		t.Fatal("double wake moved the process")
+	}
+}
+
+func TestParkMakesUninterruptible(t *testing.T) {
+	k := New(DefaultConfig())
+	var running *Process
+	for _, c := range k.Cores {
+		if c.Current != nil {
+			running = c.Current
+			break
+		}
+	}
+	if running == nil {
+		t.Fatal("no running process")
+	}
+	running.Step() // give it distinctive state
+	want := running.Checksum()
+	k.Park(running)
+	if running.State != TaskUninterruptible {
+		t.Fatalf("state = %v", running.State)
+	}
+	// The context was saved: wiping live regs and restoring recovers it.
+	running.PC, running.Counter, running.Regs = 0, 0, [8]uint64{}
+	running.RestoreContext()
+	if running.Checksum() != want {
+		t.Fatal("park did not save context")
+	}
+}
+
+func TestInstallIdleParksCurrent(t *testing.T) {
+	k := New(DefaultConfig())
+	c := k.Cores[0]
+	k.InstallIdle(c)
+	if !c.Idle || c.Current != nil {
+		t.Fatal("InstallIdle left the core busy")
+	}
+	if c.KTaskPtr == 0 || c.KStackPtr == 0 {
+		t.Fatal("idle task pointers not installed")
+	}
+}
+
+func TestRunnableCountDrainsAfterParkingAll(t *testing.T) {
+	k := New(DefaultConfig())
+	for _, p := range k.Sleepers() {
+		k.WakeToCore(p, 0)
+	}
+	for _, p := range k.Alive() {
+		k.Park(p)
+	}
+	if got := k.RunnableCount(); got != 0 {
+		t.Fatalf("RunnableCount = %d after parking all", got)
+	}
+}
+
+func TestDeviceDPMLadder(t *testing.T) {
+	k := New(DefaultConfig())
+	d := k.Devices[0]
+	ctx := d.Context
+	if err := d.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SuspendNoIrq(k.OCPMEM); err != nil {
+		t.Fatal(err)
+	}
+	if d.State != DevOff || d.Context != 0 {
+		t.Fatal("suspend_noirq should park the device and clear live regs")
+	}
+	if err := d.ResumeNoIrq(k.OCPMEM); err != nil {
+		t.Fatal(err)
+	}
+	if d.Context != ctx {
+		t.Fatal("device context did not round-trip through the DCB")
+	}
+	if err := d.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	if d.State != DevActive {
+		t.Fatalf("final state = %v", d.State)
+	}
+}
+
+func TestDeviceLadderRejectsOutOfOrder(t *testing.T) {
+	k := New(DefaultConfig())
+	d := k.Devices[1]
+	if err := d.Suspend(); err == nil {
+		t.Fatal("suspend before prepare must fail")
+	}
+	if err := d.SuspendNoIrq(k.OCPMEM); err == nil {
+		t.Fatal("suspend_noirq before suspend must fail")
+	}
+	if err := d.ResumeNoIrq(k.OCPMEM); err == nil {
+		t.Fatal("resume_noirq of active device must fail")
+	}
+}
+
+func TestPeripheralMMIORoundTrip(t *testing.T) {
+	k := New(DefaultConfig())
+	var per *Device
+	for _, d := range k.Devices {
+		if d.Peripheral {
+			per = d
+			break
+		}
+	}
+	if per == nil {
+		t.Fatal("no peripheral device generated")
+	}
+	mmio := per.MMIO
+	per.Prepare()
+	per.Suspend()
+	per.SuspendNoIrq(k.OCPMEM)
+	per.ResumeNoIrq(k.OCPMEM)
+	if per.MMIO != mmio {
+		t.Fatal("MMIO region did not round-trip through the DCB")
+	}
+}
+
+func TestBankPowerLoss(t *testing.T) {
+	v := NewBank("dram", false)
+	p := NewBank("ocpmem", true)
+	v.Write(1, 2)
+	p.Write(1, 2)
+	v.PowerLoss()
+	p.PowerLoss()
+	if v.Len() != 0 {
+		t.Fatal("volatile bank survived power loss")
+	}
+	if p.Read(1) != 2 {
+		t.Fatal("persistent bank lost data")
+	}
+}
+
+func TestBankChecksumSensitive(t *testing.T) {
+	b := NewBank("x", true)
+	c0 := b.Checksum()
+	b.Write(5, 7)
+	c1 := b.Checksum()
+	if c0 == c1 {
+		t.Fatal("checksum insensitive to writes")
+	}
+	b.Write(5, 8)
+	if b.Checksum() == c1 {
+		t.Fatal("checksum insensitive to values")
+	}
+}
+
+func TestBankCopyRestoreRoundTrip(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		src := NewBank("dram", false)
+		dst := NewBank("ocpmem", true)
+		for i, v := range pairs {
+			src.Write(uint64(i)*8, uint64(v))
+		}
+		want := src.Checksum()
+		n := src.CopyTo(dst, 1<<40)
+		if n != src.Len() {
+			return false
+		}
+		src.PowerLoss()
+		fresh := NewBank("dram", false)
+		fresh.RestoreFrom(dst, 1<<40)
+		return fresh.Checksum() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLossSemantics(t *testing.T) {
+	k := New(DefaultConfig())
+	k.Tick(5)
+	// Park one process properly; leave others running.
+	var parked *Process
+	for _, c := range k.Cores {
+		if c.Current != nil {
+			parked = c.Current
+			break
+		}
+	}
+	k.Park(parked)
+	want := func() uint64 {
+		parked.RestoreContext()
+		return parked.Checksum()
+	}()
+	k.PowerLoss()
+	for _, c := range k.Cores {
+		if c.Online {
+			t.Fatal("core online after power loss")
+		}
+	}
+	if parked.State != TaskUninterruptible {
+		t.Fatal("parked process state lost despite persistent PCB bank")
+	}
+	parked.RestoreContext()
+	if parked.Checksum() != want {
+		t.Fatal("parked context lost")
+	}
+	// Never-parked running processes are unrecoverable.
+	stopped := 0
+	for _, p := range k.Procs {
+		if p.State == TaskStopped {
+			stopped++
+		}
+	}
+	if stopped == 0 {
+		t.Fatal("running processes should be unrecoverable")
+	}
+}
+
+func TestPowerLossWipesLegacyProcs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PersistentProcs = false
+	k := New(cfg)
+	k.Tick(3)
+	k.PowerLoss()
+	for _, p := range k.Procs {
+		if p.State != TaskStopped {
+			t.Fatalf("process %s survived DRAM wipe in state %v", p.Name, p.State)
+		}
+	}
+	if k.DRAM.Len() != 0 {
+		t.Fatal("DRAM contents survived")
+	}
+}
+
+func TestBootloaderBCB(t *testing.T) {
+	k := New(DefaultConfig())
+	b := k.Boot
+	if b.HasCommit() {
+		t.Fatal("fresh system has a commit")
+	}
+	c := k.Cores[2]
+	want := c.MRegs
+	b.SaveCoreRegisters(c)
+	b.SetMEPC(0x80001234)
+	b.SaveWearMeta([4]uint64{1, 2, 3, 4})
+	b.Commit()
+	if !b.HasCommit() {
+		t.Fatal("commit not visible")
+	}
+	c.MRegs = [4]uint64{}
+	b.RestoreCoreRegisters(c)
+	if c.MRegs != want {
+		t.Fatal("machine registers did not round-trip")
+	}
+	if b.MEPC() != 0x80001234 {
+		t.Fatal("MEPC lost")
+	}
+	if b.WearMeta() != [4]uint64{1, 2, 3, 4} {
+		t.Fatal("wear metadata lost")
+	}
+	b.ClearCommit()
+	if b.HasCommit() {
+		t.Fatal("commit survived clear")
+	}
+}
+
+func TestBCBSurvivesPowerLoss(t *testing.T) {
+	k := New(DefaultConfig())
+	k.Boot.SetMEPC(42)
+	k.Boot.Commit()
+	k.PowerLoss()
+	if !k.Boot.HasCommit() || k.Boot.MEPC() != 42 {
+		t.Fatal("BCB must live in OC-PMEM and survive power loss")
+	}
+}
+
+func TestProcessStepDeterministic(t *testing.T) {
+	b := NewBank("x", true)
+	p1 := newProcess(1, "a", false, b)
+	p2 := newProcess(1, "a", false, b)
+	for i := 0; i < 100; i++ {
+		p1.Step()
+		p2.Step()
+	}
+	if p1.Checksum() != p2.Checksum() {
+		t.Fatal("Step not deterministic")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if TaskRunning.String() != "running" || TaskUninterruptible.String() != "uninterruptible" {
+		t.Fatal("proc state names wrong")
+	}
+	if DevActive.String() != "active" || DevOff.String() != "off" {
+		t.Fatal("device state names wrong")
+	}
+	if ProcState(99).String() == "" || DPMState(99).String() == "" {
+		t.Fatal("unknown state names empty")
+	}
+}
+
+func TestIdleConfigSmaller(t *testing.T) {
+	k := New(IdleConfig())
+	if len(k.Procs) >= 120 {
+		t.Fatalf("idle config has %d procs", len(k.Procs))
+	}
+}
+
+func TestDeviceCostsPositive(t *testing.T) {
+	k := New(DefaultConfig())
+	for _, d := range k.Devices {
+		if d.PrepareCost <= 0 || d.SuspendCost <= 0 || d.NoIrqCost <= 0 || d.ResumeCost <= 0 {
+			t.Fatalf("%s has non-positive costs", d.Name)
+		}
+		if d.TotalSuspendCost() != d.PrepareCost+d.SuspendCost+d.NoIrqCost {
+			t.Fatal("TotalSuspendCost wrong")
+		}
+	}
+}

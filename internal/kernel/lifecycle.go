@@ -1,0 +1,89 @@
+package kernel
+
+import "fmt"
+
+// Process lifecycle: fork/exit/reap over the init-derived tree that
+// Drive-to-Idle traverses. Forked children inherit priority and (when VM
+// is attached) a copy-on-write-style clone of the parent's address space.
+
+// Fork creates a child of parent, runnable on the parent's core (or core 0
+// for a sleeping parent). The child starts a fresh program (counter zero)
+// but inherits scheduling identity.
+func (k *Kernel) Fork(parent *Process, name string) *Process {
+	if parent == nil {
+		panic("kernel: Fork needs a parent")
+	}
+	child := k.spawn(name, parent.Kernel, parent.bank)
+	child.Parent = parent
+	child.Nice = parent.Nice
+	core := parent.CoreID
+	if core < 0 || core >= len(k.Cores) {
+		core = 0
+	}
+	child.VRuntime = k.minVruntime(core)
+	child.State = TaskRunnable
+	child.CoreID = core
+	k.Cores[core].RunQueue = append(k.Cores[core].RunQueue, child)
+	if parent.PageTable != nil {
+		pt := NewPageTable(uint64(child.PID) << 32)
+		for vpn := uint64(0); vpn < uint64(parent.PageTable.Len()); vpn++ {
+			if ppn, ok := parent.PageTable.Walk(vpn); ok {
+				pt.MapPage(vpn, ppn) // shared until written (CoW)
+			}
+		}
+		child.PageTable = pt
+	}
+	return child
+}
+
+// Exit terminates a task: it leaves scheduler structures and becomes a
+// zombie until its parent reaps it.
+func (k *Kernel) Exit(p *Process) {
+	if p.State == TaskRunning {
+		c := k.Cores[p.CoreID]
+		if c.Current == p {
+			c.Current = nil
+		}
+	}
+	k.removeFromRunQueue(p)
+	if p.wq != nil {
+		p.wq.remove(p)
+		p.wq = nil
+	}
+	p.State = TaskZombie
+}
+
+// Reap collects a zombie, removing it from the PCB list. It panics when the
+// task is not a zombie (caller bug — mirrors wait(2) semantics loosely).
+func (k *Kernel) Reap(p *Process) {
+	if p.State != TaskZombie {
+		panic(fmt.Sprintf("kernel: reaping pid %d in state %v", p.PID, p.State))
+	}
+	for i, q := range k.Procs {
+		if q == p {
+			k.Procs = append(k.Procs[:i], k.Procs[i+1:]...)
+			p.State = TaskStopped
+			return
+		}
+	}
+}
+
+// Children lists a task's live children.
+func (k *Kernel) Children(parent *Process) []*Process {
+	var out []*Process
+	for _, p := range k.Procs {
+		if p.Parent == parent && p.State != TaskStopped {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TreeDepth reports a task's distance from the tree root.
+func TreeDepth(p *Process) int {
+	d := 0
+	for q := p.Parent; q != nil; q = q.Parent {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,92 @@
+package kernel
+
+import "sort"
+
+// Bank is one addressable memory region. LightPC runs everything out of the
+// persistent OC-PMEM bank; LegacyPC additionally has a volatile DRAM bank
+// holding all processes and kernel data, which a power loss wipes.
+type Bank struct {
+	name       string
+	persistent bool
+	words      map[uint64]uint64
+}
+
+// NewBank builds a bank.
+func NewBank(name string, persistent bool) *Bank {
+	return &Bank{name: name, persistent: persistent, words: make(map[uint64]uint64)}
+}
+
+// Name reports the bank's name.
+func (b *Bank) Name() string { return b.name }
+
+// Persistent reports whether contents survive power loss.
+func (b *Bank) Persistent() bool { return b.persistent }
+
+// Write stores a word.
+func (b *Bank) Write(addr, val uint64) { b.words[addr] = val }
+
+// Read loads a word (absent addresses read as zero).
+func (b *Bank) Read(addr uint64) uint64 { return b.words[addr] }
+
+// Delete removes a word.
+func (b *Bank) Delete(addr uint64) { delete(b.words, addr) }
+
+// Len reports how many words are populated.
+func (b *Bank) Len() int { return len(b.words) }
+
+// PowerLoss models losing power: volatile banks are wiped, persistent
+// banks keep their contents.
+func (b *Bank) PowerLoss() {
+	if !b.persistent {
+		b.words = make(map[uint64]uint64)
+	}
+}
+
+// Checksum folds the bank contents into a deterministic digest (FNV-style
+// over sorted address/value pairs) — the tool the property tests use to
+// prove the EP-cut restores state exactly.
+func (b *Bank) Checksum() uint64 {
+	addrs := make([]uint64, 0, len(b.words))
+	for a := range b.words {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var h uint64 = 1469598103934665603
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	for _, a := range addrs {
+		mix(a)
+		mix(b.words[a])
+	}
+	return h
+}
+
+// CopyTo snapshots every word of b into dst at the given address offset —
+// the bulk transfer SysPC performs when hibernating DRAM contents into
+// OC-PMEM.
+func (b *Bank) CopyTo(dst *Bank, offset uint64) int {
+	n := 0
+	for a, v := range b.words {
+		dst.Write(offset+a, v)
+		n++
+	}
+	return n
+}
+
+// RestoreFrom loads every word stored under offset in src back into b,
+// removing the staged copy from src.
+func (b *Bank) RestoreFrom(src *Bank, offset uint64) int {
+	n := 0
+	for a, v := range src.words {
+		if a >= offset {
+			b.Write(a-offset, v)
+			delete(src.words, a)
+			n++
+		}
+	}
+	return n
+}

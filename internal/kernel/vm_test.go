@@ -1,0 +1,241 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPageTableWalk(t *testing.T) {
+	pt := NewPageTable(0x1000)
+	pt.MapPage(5, 99)
+	if ppn, ok := pt.Walk(5); !ok || ppn != 99 {
+		t.Fatalf("Walk = %d,%v", ppn, ok)
+	}
+	if _, ok := pt.Walk(6); ok {
+		t.Fatal("unmapped page walked")
+	}
+	pt.UnmapPage(5)
+	if _, ok := pt.Walk(5); ok {
+		t.Fatal("unmapped page persisted")
+	}
+}
+
+func TestPageTableChecksumSensitive(t *testing.T) {
+	a := NewPageTable(1)
+	b := NewPageTable(1)
+	a.MapPage(1, 2)
+	b.MapPage(1, 2)
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("identical tables differ")
+	}
+	b.MapPage(3, 4)
+	if a.Checksum() == b.Checksum() {
+		t.Fatal("checksum insensitive")
+	}
+}
+
+func TestTLBHitMissFlush(t *testing.T) {
+	pt := NewPageTable(7)
+	pt.MapPage(0, 10)
+	tlb := NewTLB(4)
+	walk := 100 * sim.Nanosecond
+
+	pa, lat, ok := tlb.Translate(pt, 0x10, walk)
+	if !ok || pa != 10*PageSize+0x10 || lat != walk {
+		t.Fatalf("miss: pa=%#x lat=%v ok=%v", pa, lat, ok)
+	}
+	pa, lat, ok = tlb.Translate(pt, 0x20, walk)
+	if !ok || lat != 0 || pa != 10*PageSize+0x20 {
+		t.Fatalf("hit: pa=%#x lat=%v", pa, lat)
+	}
+	hits, misses, _ := tlb.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+	tlb.Flush()
+	if tlb.Len() != 0 {
+		t.Fatal("flush left entries")
+	}
+	_, lat, _ = tlb.Translate(pt, 0x10, walk)
+	if lat != walk {
+		t.Fatal("post-flush access should miss")
+	}
+}
+
+func TestTLBCapacityFIFO(t *testing.T) {
+	pt := NewPageTable(7)
+	for v := uint64(0); v < 8; v++ {
+		pt.MapPage(v, 100+v)
+	}
+	tlb := NewTLB(4)
+	for v := uint64(0); v < 5; v++ { // fills and evicts vpn 0
+		tlb.Translate(pt, v*PageSize, 0)
+	}
+	if tlb.Len() != 4 {
+		t.Fatalf("Len = %d", tlb.Len())
+	}
+	_, _, _ = tlb.Translate(pt, 0, 0) // vpn 0 evicted: miss
+	_, misses, _ := tlb.Stats()
+	if misses != 6 {
+		t.Fatalf("misses = %d, want 6", misses)
+	}
+}
+
+func TestTLBPageFault(t *testing.T) {
+	pt := NewPageTable(7)
+	tlb := NewTLB(4)
+	if _, _, ok := tlb.Translate(pt, 0x5000, 0); ok {
+		t.Fatal("fault not reported")
+	}
+}
+
+func TestTLBASIDSeparation(t *testing.T) {
+	// Two address spaces mapping the same VPN to different PPNs must not
+	// alias in the TLB.
+	a := NewPageTable(1)
+	b := NewPageTable(2)
+	a.MapPage(0, 10)
+	b.MapPage(0, 20)
+	tlb := NewTLB(8)
+	paA, _, _ := tlb.Translate(a, 0, 0)
+	paB, _, _ := tlb.Translate(b, 0, 0)
+	if paA == paB {
+		t.Fatal("ASID aliasing")
+	}
+}
+
+func TestAttachVMAndChecksumAcrossSnGStyleCycle(t *testing.T) {
+	k := New(DefaultConfig())
+	k.AttachVM(16, 32)
+	for _, p := range k.Procs {
+		if p.PageTable == nil || p.PageTable.Len() != 16 {
+			t.Fatal("AttachVM incomplete")
+		}
+		if err := vmSanity(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := k.VMChecksum()
+	// Warm the TLBs, then do the Go-style flush.
+	c := k.Cores[0]
+	c.TLB.Translate(k.Procs[0].PageTable, 0, 0)
+	k.FlushAllTLBs()
+	if c.TLB.Len() != 0 {
+		t.Fatal("TLB survived the flush pass")
+	}
+	// Page tables (persistent data) are untouched by the flush.
+	if k.VMChecksum() != before {
+		t.Fatal("VM state changed by TLB flush")
+	}
+}
+
+func TestForkInheritsAndClones(t *testing.T) {
+	k := New(DefaultConfig())
+	k.AttachVM(8, 32)
+	parent := k.Procs[0]
+	parent.Nice = 7
+	child := k.Fork(parent, "child")
+	if child.Parent != parent || child.Nice != 7 {
+		t.Fatal("inheritance broken")
+	}
+	if child.State != TaskRunnable {
+		t.Fatalf("child state = %v", child.State)
+	}
+	if child.PageTable == nil || child.PageTable.Len() != parent.PageTable.Len() {
+		t.Fatal("address space not cloned")
+	}
+	if child.PageTable.Root == parent.PageTable.Root {
+		t.Fatal("child shares the parent's page-table root")
+	}
+	// CoW-style: same physical pages initially.
+	pp, _ := parent.PageTable.Walk(0)
+	cp, _ := child.PageTable.Walk(0)
+	if pp != cp {
+		t.Fatal("clone did not share frames")
+	}
+	if TreeDepth(child) != TreeDepth(parent)+1 {
+		t.Fatal("tree depth wrong")
+	}
+}
+
+func TestExitReapLifecycle(t *testing.T) {
+	k := New(DefaultConfig())
+	parent := k.Procs[0]
+	child := k.Fork(parent, "worker")
+	if len(k.Children(parent)) != 1 {
+		t.Fatal("child not listed")
+	}
+	k.Exit(child)
+	if child.State != TaskZombie {
+		t.Fatalf("state = %v", child.State)
+	}
+	if k.RunnableCount() == 0 {
+		t.Fatal("exit drained the whole system?")
+	}
+	before := len(k.Procs)
+	k.Reap(child)
+	if len(k.Procs) != before-1 || child.State != TaskStopped {
+		t.Fatal("reap failed")
+	}
+	if len(k.Children(parent)) != 0 {
+		t.Fatal("reaped child still listed")
+	}
+}
+
+func TestReapNonZombiePanics(t *testing.T) {
+	k := New(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k.Reap(k.Procs[0])
+}
+
+func TestZombiesNeverScheduled(t *testing.T) {
+	k := New(DefaultConfig())
+	parent := k.Procs[0]
+	child := k.Fork(parent, "dying")
+	k.Exit(child)
+	for i := 0; i < 20; i++ {
+		k.Tick(3)
+		if child.State != TaskZombie {
+			t.Fatalf("zombie state changed to %v", child.State)
+		}
+		for _, c := range k.Cores {
+			if c.Current == child {
+				t.Fatal("zombie scheduled")
+			}
+		}
+	}
+}
+
+// Property: translation through the TLB always agrees with a direct page
+// table walk.
+func TestTLBCoherenceProperty(t *testing.T) {
+	f := func(seed uint64, addrsRaw []uint16) bool {
+		rng := sim.NewRNG(seed)
+		pt := NewPageTable(seed | 1)
+		for v := uint64(0); v < 32; v++ {
+			pt.MapPage(v, rng.Uint64n(1<<20))
+		}
+		tlb := NewTLB(8)
+		for _, a := range addrsRaw {
+			vaddr := uint64(a) % (32 * PageSize)
+			pa, _, ok := tlb.Translate(pt, vaddr, 0)
+			ppn, found := pt.Walk(vaddr / PageSize)
+			if ok != found {
+				return false
+			}
+			if ok && pa != ppn*PageSize+vaddr%PageSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

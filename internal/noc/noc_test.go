@@ -1,0 +1,137 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestTopologyNames(t *testing.T) {
+	if SharedBus.String() != "shared-bus" || Crossbar.String() != "crossbar" {
+		t.Fatal("names wrong")
+	}
+	if Topology(9).String() == "" {
+		t.Fatal("unknown name empty")
+	}
+}
+
+func TestCrossbarParallelSlaves(t *testing.T) {
+	n := New(DefaultConfig())
+	// Simultaneous transfers to distinct slaves complete together.
+	d1 := n.Transfer(0, 0, 0)
+	d2 := n.Transfer(0, 1, 1)
+	if d1 != d2 {
+		t.Fatalf("crossbar serialized distinct slaves: %v vs %v", d1, d2)
+	}
+	// Same slave contends.
+	d3 := n.Transfer(0, 2, 0)
+	if !d3.After(d1) {
+		t.Fatal("same-slave transfers must contend")
+	}
+}
+
+func TestSharedBusSerializesEverything(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = SharedBus
+	n := New(cfg)
+	d1 := n.Transfer(0, 0, 0)
+	d2 := n.Transfer(0, 1, 1) // different slave — still waits
+	if !d2.After(d1) {
+		t.Fatal("shared bus must serialize all transfers")
+	}
+}
+
+func TestBusVsCrossbarUnderLoad(t *testing.T) {
+	run := func(topo Topology) sim.Duration {
+		cfg := DefaultConfig()
+		cfg.Topology = topo
+		n := New(cfg)
+		var last sim.Time
+		for i := 0; i < 480; i++ {
+			done := n.Transfer(0, i%8, n.SlaveFor(uint64(i)))
+			if done > last {
+				last = done
+			}
+		}
+		return last.Sub(0)
+	}
+	bus := run(SharedBus)
+	xbar := run(Crossbar)
+	if bus < xbar*3 {
+		t.Fatalf("bus (%v) should be several times slower than crossbar (%v) under load", bus, xbar)
+	}
+}
+
+func TestTransferLatencyFloor(t *testing.T) {
+	cfg := DefaultConfig()
+	n := New(cfg)
+	done := n.Transfer(0, 0, 0)
+	want := sim.Time(0).Add(cfg.ArbitrationLatency + cfg.TransferTime)
+	if done != want {
+		t.Fatalf("uncontended transfer = %v, want %v", done.Sub(0), want.Sub(0))
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := New(DefaultConfig())
+	if tx, w := n.Stats(); tx != 0 || w != 0 {
+		t.Fatal("fresh network has stats")
+	}
+	n.Transfer(0, 0, 0)
+	n.Transfer(0, 1, 0) // waits
+	tx, wait := n.Stats()
+	if tx != 2 || wait == 0 {
+		t.Fatalf("stats = %d/%v", tx, wait)
+	}
+}
+
+func TestBoundsChecked(t *testing.T) {
+	n := New(DefaultConfig())
+	for _, f := range []func(){
+		func() { n.Transfer(0, -1, 0) },
+		func() { n.Transfer(0, 0, 99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: delivery time is monotone in request time and never below the
+// uncontended floor.
+func TestTransferMonotoneProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	floor := cfg.ArbitrationLatency + cfg.TransferTime
+	f := func(ops []uint8) bool {
+		n := New(cfg)
+		now := sim.Time(0)
+		for _, op := range ops {
+			done := n.Transfer(now, int(op)%cfg.Masters, int(op/8)%cfg.Slaves)
+			if done.Sub(now) < floor {
+				return false
+			}
+			now = now.Add(sim.Nanosecond)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlaveForInterleaves(t *testing.T) {
+	n := New(DefaultConfig())
+	seen := map[int]bool{}
+	for line := uint64(0); line < 6; line++ {
+		seen[n.SlaveFor(line)] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("interleaving covers %d slaves", len(seen))
+	}
+}

@@ -1,0 +1,301 @@
+// Package persist implements the four orthogonal persistence mechanisms of
+// Section VI against a common profile, reproducing Figures 19–21:
+//
+//   - SysPC: system images — dump all non-persistent data and execution
+//     state into OC-PMEM when a sleep/power signal arrives. No runtime
+//     overhead, but the one-shot flush takes orders of magnitude longer
+//     than any PSU hold-up window (Figure 20), so it needs an external
+//     energy source to complete.
+//   - A-CheckPC: application-level checkpoint-restart (distributed
+//     multi-threaded HPC checkpointing): selectively store stack and heap
+//     variables at the end of each function — tiny images, but the
+//     benchmark stalls on every commit, by far the slowest mode.
+//   - S-CheckPC: system-level checkpoint-restart (BLCR): periodically dump
+//     the thread virtual-memory structure (vm_area_struct walk) at
+//     kernel level. Cheaper than A-CheckPC but still dilates execution,
+//     and a cold reboot is unavoidable on recovery (kernel and machine
+//     registers are not captured).
+//   - LightPC: PecOS's SnG — persistence control is one Stop at power-down
+//     (well inside the hold-up window) and one Go at power-up.
+package persist
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/sng"
+)
+
+// Profile describes one benchmark execution that a mechanism must make
+// persistent across a power cycle.
+type Profile struct {
+	Name string
+	// ExecTime is the pure benchmark time on the platform.
+	ExecTime sim.Duration
+	// Instructions retired by the benchmark.
+	Instructions uint64
+	// FootprintBytes is the resident working set a checkpoint must cover.
+	FootprintBytes uint64
+	// DirtyFraction is the share of the footprint that changed.
+	DirtyFraction float64
+}
+
+// Outcome reports how a mechanism fared (the Figure 19–21 measurables).
+type Outcome struct {
+	Mechanism string
+
+	// BenchTime and PersistControl decompose total execution (Figure 19).
+	BenchTime      sim.Duration
+	PersistControl sim.Duration
+
+	// FlushAtPowerDown is the work remaining when the power event arrives
+	// (Figure 20 compares it against PSU hold-up windows).
+	FlushAtPowerDown sim.Duration
+	// Recovery is the power-up time before the benchmark resumes.
+	Recovery sim.Duration
+
+	// PowerDownW / RecoveryW are the draw during the two windows
+	// (Figure 21b).
+	PowerDownW float64
+	RecoveryW  float64
+
+	// ExceedsHoldUp marks mechanisms whose power-down work outlives every
+	// PSU's stored energy (they need an external backup source).
+	ExceedsHoldUp bool
+	// ColdReboot marks mechanisms that cannot restore kernel/machine state
+	// and must reboot before reloading their images.
+	ColdReboot bool
+	// Checkpoints is how many persistence commits ran during execution.
+	Checkpoints uint64
+}
+
+// Total is end-to-end execution including persistence control.
+func (o Outcome) Total() sim.Duration { return o.BenchTime + o.PersistControl }
+
+// EnergyDownJ integrates the power-down window.
+func (o Outcome) EnergyDownJ() float64 {
+	return o.PowerDownW * o.FlushAtPowerDown.Seconds()
+}
+
+// EnergyUpJ integrates the recovery window.
+func (o Outcome) EnergyUpJ() float64 { return o.RecoveryW * o.Recovery.Seconds() }
+
+// Mechanism turns a profile into an outcome around one power cycle.
+type Mechanism interface {
+	Name() string
+	Run(p Profile) Outcome
+}
+
+// coldBootTime is a full kernel cold boot (needed by the checkpoint
+// mechanisms before their images can be reloaded).
+const coldBootTime = 900 * sim.Millisecond
+
+// SysPC is the system-image mechanism.
+type SysPC struct {
+	// BandwidthBps is the DRAM→OC-PMEM image streaming rate.
+	BandwidthBps float64
+	// BaseImageBytes is the system image beyond the benchmark's footprint
+	// (kernel, page tables, caches of every resident service) — a system
+	// image dumps *all* non-persistent data, not just the benchmark's.
+	BaseImageBytes float64
+	// SyncOverhead is the per-image metadata/sync cost.
+	SyncOverhead sim.Duration
+	// KernelSeed builds the LegacyPC system whose hibernation the run
+	// exercises functionally.
+	KernelSeed uint64
+}
+
+// NewSysPC uses the calibrated defaults: ≈0.42 GB/s effective image
+// streaming (small-region scatter + synchronization) over a ~1.2 GB
+// system-wide image plus the benchmark footprint — which is why Figure 20
+// measures the flush at >100× any PSU hold-up window.
+func NewSysPC() *SysPC {
+	return &SysPC{
+		BandwidthBps:   0.42e9,
+		BaseImageBytes: 1.2e9,
+		SyncOverhead:   50 * sim.Millisecond,
+	}
+}
+
+// Name identifies the mechanism.
+func (s *SysPC) Name() string { return "SysPC" }
+
+func dumpTime(bytes float64, bw float64) sim.Duration {
+	return sim.FromSeconds(bytes / bw)
+}
+
+// Run executes the profile under SysPC: the timing follows the image-size
+// model, and a functional hibernate/resume round-trip on a LegacyPC kernel
+// verifies that system images really do restore exact state (given the
+// external energy to finish the dump).
+func (s *SysPC) Run(p Profile) Outcome {
+	cfg := kernel.DefaultConfig()
+	cfg.PersistentProcs = false
+	cfg.Seed = s.KernelSeed + 1
+	k := kernel.New(cfg)
+	k.Tick(10)
+	k.Hibernate()
+	k.PowerLoss()
+	if !k.ResumeFromHibernate() {
+		panic("persist: SysPC hibernation round trip failed")
+	}
+
+	image := float64(p.FootprintBytes)*p.DirtyFraction + s.BaseImageBytes
+	flush := dumpTime(image, s.BandwidthBps) + s.SyncOverhead
+	load := dumpTime(image, s.BandwidthBps*1.3) // sequential reload is faster
+	return Outcome{
+		Mechanism:        s.Name(),
+		BenchTime:        p.ExecTime,
+		PersistControl:   flush + load,
+		FlushAtPowerDown: flush,
+		Recovery:         load,
+		PowerDownW:       20.0, // hibernate keeps DRAM + cores + OC-PMEM hot
+		RecoveryW:        18.4, // image load is 2.7% lighter than a cold boot
+		ExceedsHoldUp:    true,
+		Checkpoints:      1,
+	}
+}
+
+// ACheckPC is application-level per-function checkpointing.
+type ACheckPC struct {
+	// InstrPerCheckpoint is the mean function length.
+	InstrPerCheckpoint uint64
+	// BytesPerCheckpoint is the live stack/heap variables dumped.
+	BytesPerCheckpoint float64
+	// BandwidthBps is the effective small-write dump rate.
+	BandwidthBps float64
+	// CommitOverhead is the per-checkpoint transaction commit (fences,
+	// serialization by a single thread).
+	CommitOverhead sim.Duration
+}
+
+// NewACheckPC uses calibrated defaults: a checkpoint every ~3500
+// instructions moving ~4 KB at small-write rates, each commit stalling the
+// benchmark.
+func NewACheckPC() *ACheckPC {
+	return &ACheckPC{
+		InstrPerCheckpoint: 3500,
+		BytesPerCheckpoint: 4 << 10,
+		BandwidthBps:       0.15e9,
+		CommitOverhead:     8 * sim.Microsecond,
+	}
+}
+
+// Name identifies the mechanism.
+func (a *ACheckPC) Name() string { return "A-CheckPC" }
+
+// Run executes the profile under A-CheckPC.
+func (a *ACheckPC) Run(p Profile) Outcome {
+	n := p.Instructions / a.InstrPerCheckpoint
+	if n == 0 {
+		n = 1
+	}
+	per := dumpTime(a.BytesPerCheckpoint, a.BandwidthBps) + a.CommitOverhead
+	control := sim.Duration(n) * per
+	// Last checkpoint is already durable: nothing to flush at power-down.
+	return Outcome{
+		Mechanism:        a.Name(),
+		BenchTime:        p.ExecTime,
+		PersistControl:   control,
+		FlushAtPowerDown: 0,
+		Recovery:         coldBootTime + dumpTime(a.BytesPerCheckpoint, a.BandwidthBps),
+		PowerDownW:       19.2,
+		RecoveryW:        18.9,
+		ColdReboot:       true,
+		Checkpoints:      n,
+	}
+}
+
+// SCheckPC is BLCR-style periodic kernel-level checkpointing: every period
+// the target threads are frozen, their vm_area_struct chain is walked, and
+// the pages dirtied since the previous checkpoint are flushed to OC-PMEM.
+type SCheckPC struct {
+	// Period is the benchmark progress between dump starts.
+	Period sim.Duration
+	// WalkBps is the effective rate of the freeze + vm_area walk over the
+	// full footprint (thread quiescing, page-table scanning).
+	WalkBps float64
+	// DirtyPerPeriod is the footprint share dirtied between checkpoints
+	// (only those pages are flushed).
+	DirtyPerPeriod float64
+	// FlushBps is the dirty-page flush rate with memory synchronization.
+	FlushBps float64
+}
+
+// NewSCheckPC dumps every second of benchmark progress (the paper's BLCR
+// configuration).
+func NewSCheckPC() *SCheckPC {
+	return &SCheckPC{
+		Period:         sim.Second,
+		WalkBps:        0.35e9,
+		DirtyPerPeriod: 0.05,
+		FlushBps:       0.26e9,
+	}
+}
+
+// Name identifies the mechanism.
+func (s *SCheckPC) Name() string { return "S-CheckPC" }
+
+// Run executes the profile under S-CheckPC.
+func (s *SCheckPC) Run(p Profile) Outcome {
+	walk := dumpTime(float64(p.FootprintBytes), s.WalkBps)
+	flush := dumpTime(float64(p.FootprintBytes)*s.DirtyPerPeriod, s.FlushBps)
+	n := uint64(p.ExecTime/s.Period) + 1
+	control := sim.Duration(n) * (walk + flush)
+	return Outcome{
+		Mechanism:      s.Name(),
+		BenchTime:      p.ExecTime,
+		PersistControl: control,
+		// Only the in-flight dirty flush remains at power loss — the
+		// ~3.5×-ATX-hold-up bar of Figure 20.
+		FlushAtPowerDown: flush,
+		Recovery:         coldBootTime + dumpTime(float64(p.FootprintBytes)*s.DirtyPerPeriod, s.FlushBps*1.3),
+		PowerDownW:       19.5,
+		RecoveryW:        18.9,
+		ColdReboot:       true,
+		Checkpoints:      n,
+	}
+}
+
+// LightPC wraps SnG as a Mechanism: persistence control is one Stop at the
+// power event and one Go on recovery — 0.3% of execution on average
+// (Section VI-B).
+type LightPC struct {
+	// KernelSeed builds the system image SnG stops.
+	KernelSeed uint64
+}
+
+// NewLightPC returns the SnG-backed mechanism.
+func NewLightPC() *LightPC { return &LightPC{KernelSeed: 1} }
+
+// Name identifies the mechanism.
+func (l *LightPC) Name() string { return "LightPC" }
+
+// Run executes the profile under SnG.
+func (l *LightPC) Run(p Profile) Outcome {
+	cfg := kernel.DefaultConfig()
+	cfg.Seed = l.KernelSeed
+	k := kernel.New(cfg)
+	k.Tick(10)
+	s := sng.New(k)
+	stop := s.Stop(0, sim.Time(10*sim.Second))
+	k.PowerLoss()
+	gorep, err := s.Go(0)
+	if err != nil {
+		panic("persist: SnG round trip failed: " + err.Error())
+	}
+	return Outcome{
+		Mechanism:        l.Name(),
+		BenchTime:        p.ExecTime,
+		PersistControl:   stop.Total + gorep.Total,
+		FlushAtPowerDown: stop.Total,
+		Recovery:         gorep.Total,
+		PowerDownW:       4.5,
+		RecoveryW:        4.4,
+		Checkpoints:      1,
+	}
+}
+
+// All returns the four mechanisms in paper order.
+func All() []Mechanism {
+	return []Mechanism{NewSysPC(), NewACheckPC(), NewSCheckPC(), NewLightPC()}
+}

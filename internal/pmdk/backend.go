@@ -1,0 +1,175 @@
+// Package pmdk models the persistent-memory software stack of Section II-B
+// that conventional PMEM needs and LightPC eliminates:
+//
+//   - the timing backends reproduce Figure 4's ladder — app-direct mode
+//     (DAX), object mode (libpmemobj's offset-based persistent pointers,
+//     which force a VA computation on every access), and transaction mode
+//     (undo logging plus pmem_persist cacheline walks) — each layered over
+//     the PMEM DIMM emulation;
+//   - Pool is a small functional libpmemobj-like object store (allocation,
+//     root object, persistent pointers, undo-log transactions, crash
+//     recovery) used by the examples.
+package pmdk
+
+import (
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// ObjectBackend adds libpmemobj's object-mode cost to every reference: the
+// application stores object IDs (offsets), so each access recomputes the
+// virtual address and touches object metadata — "frequent software
+// interventions" (Section II-B). Initialization of object roots/headers
+// appears as extra metadata writes on a fraction of stores.
+type ObjectBackend struct {
+	Inner cache.Backend
+	// PointerChase is the per-access offset→VA computation cost.
+	PointerChase sim.Duration
+	// HeaderEvery issues one object-header metadata write every N stores
+	// (object creation/initialization traffic).
+	HeaderEvery int
+
+	storeCount uint64
+}
+
+// metadataRegion keeps object headers away from application data.
+const metadataRegion = 1 << 44
+
+// Read services a read with the pointer-chase penalty.
+func (b *ObjectBackend) Read(now sim.Time, addr uint64) sim.Time {
+	return b.Inner.Read(now.Add(b.PointerChase), addr)
+}
+
+// Write services a write with the pointer-chase penalty plus periodic
+// object-header updates.
+func (b *ObjectBackend) Write(now sim.Time, addr uint64) sim.Time {
+	b.storeCount++
+	at := now.Add(b.PointerChase)
+	if b.HeaderEvery > 0 && b.storeCount%uint64(b.HeaderEvery) == 0 {
+		at = b.Inner.Write(at, metadataRegion+addr/64)
+	}
+	return b.Inner.Write(at, addr)
+}
+
+// Flusher is the device-side synchronization hook pmem_persist drains to.
+type Flusher interface {
+	Flush(now sim.Time) sim.Time
+}
+
+// TxBackend wraps ObjectBackend semantics in explicit transactions
+// (TX_BEGIN/TX_END): every store first appends an undo-log record, and the
+// commit path runs pmem_persist — the CPU cache controller iteratively
+// visits every cacheline of the VA range handed to pmem_persist (the whole
+// object, not just the touched lines, because users cannot see which
+// cached lines are dirty — Section II-B) and then fences on the device.
+// trans-mode wraps each insert/delete operation, so OpsPerTx defaults to
+// 1: all changes are made durable. This is the 8.7×-over-DRAM mode of
+// Figure 4.
+type TxBackend struct {
+	Inner cache.Backend
+	// Device receives the commit-time fence; nil skips the device drain.
+	Device Flusher
+
+	PointerChase sim.Duration
+	// LogWriteCost covers building one undo record (the log write itself
+	// goes through Inner).
+	LogWriteCost sim.Duration
+	// FlushPerLine is the CLWB/clflush cost per visited cacheline.
+	FlushPerLine sim.Duration
+	// RangeLines is the size of the VA range pmem_persist walks per
+	// commit (the object being made durable).
+	RangeLines int
+	// FenceCost is the device-side drain/fence at the end of
+	// pmem_persist.
+	FenceCost sim.Duration
+	// OpsPerTx is the transaction granularity (stores per TX_END).
+	OpsPerTx int
+
+	logRegion uint64
+	touched   map[uint64]struct{}
+	ops       int
+
+	txCommits  uint64
+	logWrites  uint64
+	lineFlushs uint64
+}
+
+// logBase keeps the undo log away from data.
+const logBase = 1 << 45
+
+// Read is unlogged (loads need no undo).
+func (b *TxBackend) Read(now sim.Time, addr uint64) sim.Time {
+	return b.Inner.Read(now.Add(b.PointerChase), addr)
+}
+
+// Write appends an undo record, performs the store, and runs TX_END when
+// the transaction fills.
+func (b *TxBackend) Write(now sim.Time, addr uint64) sim.Time {
+	if b.touched == nil {
+		b.touched = make(map[uint64]struct{})
+	}
+	at := now.Add(b.PointerChase + b.LogWriteCost)
+	b.logWrites++
+	b.logRegion += 64
+	at = b.Inner.Write(at, logBase+b.logRegion%(1<<30))
+	at = b.Inner.Write(at, addr)
+	b.touched[addr/64] = struct{}{}
+	b.ops++
+	if b.OpsPerTx > 0 && b.ops >= b.OpsPerTx {
+		at = b.commit(at)
+	}
+	return at
+}
+
+// commit is TX_END: pmem_persist walks the object's VA range with cache
+// flushes (writing the dirty lines back to the device), then fences.
+func (b *TxBackend) commit(now sim.Time) sim.Time {
+	b.txCommits++
+	n := b.RangeLines
+	if t := len(b.touched); t > n {
+		n = t
+	}
+	b.lineFlushs += uint64(n)
+	at := now.Add(sim.Duration(n) * b.FlushPerLine)
+	for line := range b.touched {
+		at = b.Inner.Write(at, line*64)
+	}
+	at = at.Add(b.FenceCost)
+	if b.Device != nil {
+		at = b.Device.Flush(at)
+	}
+	b.touched = make(map[uint64]struct{})
+	b.ops = 0
+	return at
+}
+
+// Stats reports commit/log/flush counters.
+func (b *TxBackend) Stats() (commits, logWrites, lineFlushes uint64) {
+	return b.txCommits, b.logWrites, b.lineFlushs
+}
+
+// DefaultObjectBackend layers object mode over inner with Figure 4-shaped
+// costs.
+func DefaultObjectBackend(inner cache.Backend) *ObjectBackend {
+	return &ObjectBackend{
+		Inner:        inner,
+		PointerChase: sim.FromNanoseconds(60),
+		HeaderEvery:  4,
+	}
+}
+
+// DefaultTxBackend layers transaction mode over inner: per-operation
+// durability (OpsPerTx = 1) with a 16-line pmem_persist walk and a
+// device fence per commit.
+func DefaultTxBackend(inner cache.Backend, dev Flusher) *TxBackend {
+	return &TxBackend{
+		Inner:        inner,
+		Device:       dev,
+		PointerChase: sim.FromNanoseconds(60),
+		LogWriteCost: sim.FromNanoseconds(80),
+		FlushPerLine: sim.FromNanoseconds(120),
+		RangeLines:   12,
+		FenceCost:    sim.FromNanoseconds(400),
+		OpsPerTx:     1,
+	}
+}

@@ -1,0 +1,104 @@
+package pmemdimm
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SectorSize is the block-storage granule of PMEM's sector mode
+// (Section II-A: the third provisioning mode, exposing the DIMM as a
+// /dev block device).
+const SectorSize = 4096
+
+// SectorDevice wraps a PMEM DIMM as block storage: 4 KB sector I/O through
+// the kernel block layer (syscall + request queue) into the DIMM's
+// internal buffer hierarchy. This is the mode journaling file systems sit
+// on — and the indirection LightPC removes entirely.
+type SectorDevice struct {
+	dimm *DIMM
+
+	// SyscallCost is the block-layer entry/exit per request.
+	SyscallCost sim.Duration
+	// QueueDepth bounds in-flight requests; extras wait.
+	QueueDepth int
+
+	inflight []sim.Time
+
+	reads, writes uint64
+}
+
+// NewSectorDevice provisions the DIMM in sector mode.
+func NewSectorDevice(d *DIMM) *SectorDevice {
+	return &SectorDevice{
+		dimm:        d,
+		SyscallCost: sim.FromNanoseconds(2000),
+		QueueDepth:  32,
+	}
+}
+
+// admit reserves a queue slot at or after now.
+func (s *SectorDevice) admit(now sim.Time) sim.Time {
+	if s.QueueDepth <= 0 {
+		s.QueueDepth = 1
+	}
+	if len(s.inflight) < s.QueueDepth {
+		s.inflight = append(s.inflight, now)
+		return now
+	}
+	// Reuse the earliest-completing slot.
+	best := 0
+	for i, t := range s.inflight {
+		if t < s.inflight[best] {
+			best = i
+		}
+	}
+	start := sim.Max(now, s.inflight[best])
+	s.inflight[best] = start
+	return start
+}
+
+func (s *SectorDevice) complete(slotStart, done sim.Time) {
+	for i, t := range s.inflight {
+		if t == slotStart {
+			s.inflight[i] = done
+			return
+		}
+	}
+}
+
+// sectorOp streams one 4 KB sector through the DIMM's 256 B media blocks.
+func (s *SectorDevice) sectorOp(now sim.Time, lba uint64, write bool) sim.Time {
+	start := s.admit(now).Add(s.SyscallCost)
+	base := lba * SectorSize
+	t := start
+	for off := uint64(0); off < SectorSize; off += MediaBlock {
+		if write {
+			t = s.dimm.Write(t, base+off)
+		} else {
+			t = s.dimm.Read(t, base+off)
+		}
+	}
+	s.complete(start.Add(-s.SyscallCost), t)
+	return t.Add(s.SyscallCost) // completion path back through the block layer
+}
+
+// ReadSector reads one 4 KB block.
+func (s *SectorDevice) ReadSector(now sim.Time, lba uint64) sim.Time {
+	s.reads++
+	return s.sectorOp(now, lba, false)
+}
+
+// WriteSector writes one 4 KB block.
+func (s *SectorDevice) WriteSector(now sim.Time, lba uint64) sim.Time {
+	s.writes++
+	return s.sectorOp(now, lba, true)
+}
+
+// Stats reports sector I/O counts.
+func (s *SectorDevice) Stats() (reads, writes uint64) { return s.reads, s.writes }
+
+// String describes the device.
+func (s *SectorDevice) String() string {
+	return fmt.Sprintf("pmem-sector(qd=%d)", s.QueueDepth)
+}

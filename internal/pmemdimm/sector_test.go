@@ -1,0 +1,73 @@
+package pmemdimm
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSectorReadWrite(t *testing.T) {
+	d := New(DefaultConfig())
+	s := NewSectorDevice(d)
+	done := s.ReadSector(0, 0)
+	if !done.After(0) {
+		t.Fatal("no time charged")
+	}
+	// A 4 KB sector is far heavier than one cacheline access.
+	lineDone := New(DefaultConfig()).Read(0, 0)
+	if done.Sub(0) < 2*lineDone.Sub(0) {
+		t.Fatalf("sector read (%v) should dwarf a line read (%v)",
+			done.Sub(0), lineDone.Sub(0))
+	}
+	end := s.WriteSector(done, 1)
+	if !end.After(done) {
+		t.Fatal("write charged nothing")
+	}
+	r, w := s.Stats()
+	if r != 1 || w != 1 {
+		t.Fatalf("stats = %d/%d", r, w)
+	}
+}
+
+func TestSectorSyscallFloor(t *testing.T) {
+	d := New(DefaultConfig())
+	s := NewSectorDevice(d)
+	done := s.ReadSector(0, 0)
+	// Entry + exit syscall costs bound the latency from below.
+	if done.Sub(0) < 2*s.SyscallCost {
+		t.Fatalf("sector latency %v below the syscall floor", done.Sub(0))
+	}
+}
+
+func TestSectorQueueDepthBackpressure(t *testing.T) {
+	d := New(DefaultConfig())
+	s := NewSectorDevice(d)
+	s.QueueDepth = 2
+	// Saturate the queue at t=0: later requests wait for slots.
+	var last sim.Time
+	for i := uint64(0); i < 8; i++ {
+		done := s.ReadSector(0, i*1000)
+		if done > last {
+			last = done
+		}
+	}
+	s2 := NewSectorDevice(New(DefaultConfig()))
+	s2.QueueDepth = 32
+	var last2 sim.Time
+	for i := uint64(0); i < 8; i++ {
+		done := s2.ReadSector(0, i*1000)
+		if done > last2 {
+			last2 = done
+		}
+	}
+	if last <= last2 {
+		t.Fatalf("qd=2 (%v) should finish after qd=32 (%v)", last.Sub(0), last2.Sub(0))
+	}
+}
+
+func TestSectorString(t *testing.T) {
+	s := NewSectorDevice(New(DefaultConfig()))
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}

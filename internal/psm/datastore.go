@@ -1,0 +1,192 @@
+package psm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// DataStore is the functional companion to the PSM's timing model: it
+// carries the actual bytes of every written cacheline, maintains the XCC
+// parity and (optionally) the Reed–Solomon codeword that the recovery
+// paths of Sections V-A and VIII operate on, and supports device-failure
+// injection so byte-exact reconstruction is testable end to end.
+//
+// The split between timing (PSM) and content (DataStore) mirrors the
+// hardware: the datapath moves bits; the PSM decides when they move. Use
+// WriteData/ReadData to get both.
+type DataStore struct {
+	psm *PSM
+
+	lines    map[uint64][]byte // line -> 64 B content
+	rsWords  map[uint64][]byte // line -> RS codeword (when hybrid on)
+	rs       *ecc.RS
+	deadDevs map[devKey]bool
+
+	reconstructions uint64 // XCC byte-level rebuilds served
+	symbolRepairs   uint64 // RS byte-level rebuilds served
+}
+
+type devKey struct {
+	dimm, dev int
+}
+
+// ErrDataLoss is returned when a line's granules are unrecoverable with
+// the configured codes.
+var ErrDataLoss = errors.New("psm: data loss — granules dead beyond ECC coverage")
+
+// NewDataStore attaches a content store to the PSM. When the PSM's
+// SymbolECC is enabled every line also carries an RS(t=8) codeword.
+func NewDataStore(p *PSM) *DataStore {
+	ds := &DataStore{
+		psm:      p,
+		lines:    make(map[uint64][]byte),
+		deadDevs: make(map[devKey]bool),
+	}
+	if p.cfg.SymbolECC {
+		ds.rs = ecc.NewRS(8)
+		ds.rsWords = make(map[uint64][]byte)
+	}
+	return ds
+}
+
+// KillDevice marks one PRAM device dead (a large-granularity fault: every
+// granule it holds is gone).
+func (ds *DataStore) KillDevice(dimm, dev int) {
+	if dimm < 0 || dimm >= len(ds.psm.dimms) {
+		panic(fmt.Sprintf("psm: no such DIMM %d", dimm))
+	}
+	if dev < 0 || dev >= ds.psm.cfg.NVDIMM.DevicesPerDIMM {
+		panic(fmt.Sprintf("psm: no such device %d", dev))
+	}
+	ds.deadDevs[devKey{dimm, dev}] = true
+}
+
+// ReviveDevice clears a device's failure (after repair/replacement; the
+// content is still gone until rewritten or scrubbed).
+func (ds *DataStore) ReviveDevice(dimm, dev int) {
+	delete(ds.deadDevs, devKey{dimm, dev})
+}
+
+// Locate resolves a line to the DIMM and first device index of its data
+// pair and parity pair (fault-injection targets).
+func (ds *DataStore) Locate(line uint64) (dimm, dataFirst, parityFirst int) {
+	return ds.location(line)
+}
+
+// location resolves a line to its data devices and parity devices.
+func (ds *DataStore) location(line uint64) (dimm int, dataFirst, parityFirst int) {
+	d, di, inner := ds.psm.mapLine(line)
+	first, _ := d.PairFor(inner)
+	pFirst := (first + 2) % ds.psm.cfg.NVDIMM.DevicesPerDIMM
+	return di, first, pFirst
+}
+
+func (ds *DataStore) dead(dimm, dev int) bool { return ds.deadDevs[devKey{dimm, dev}] }
+
+// WriteData performs a timed write carrying real content: the 64 B line is
+// stored, the XCC parity implied by it becomes available on the parity
+// pair, and the RS codeword is refreshed when the hybrid is on.
+func (ds *DataStore) WriteData(now sim.Time, line uint64, data []byte) sim.Time {
+	if len(data) != trace.CacheLineSize {
+		panic(fmt.Sprintf("psm: WriteData needs 64 B, got %d", len(data)))
+	}
+	buf := make([]byte, trace.CacheLineSize)
+	copy(buf, data)
+	ds.lines[line] = buf
+	if ds.rs != nil {
+		ds.rsWords[line] = ds.rs.Encode(buf)
+	}
+	return ds.psm.Write(now, line)
+}
+
+// ReadData performs a timed read returning real content, reconstructing
+// through dead devices: one dead half comes back via the XOR parity
+// (provided the parity devices are alive); with both halves dead the RS
+// codeword is decoded when available. The timing cost of the recovery path
+// rides the PSM's model (reconstruction reads / symbol decode latency).
+func (ds *DataStore) ReadData(now sim.Time, line uint64) ([]byte, sim.Time, error) {
+	done := ds.psm.Read(now, line)
+	stored, ok := ds.lines[line]
+	if !ok {
+		// Never written: PRAM reads back zeroes.
+		return make([]byte, trace.CacheLineSize), done, nil
+	}
+	dimm, dataFirst, parityFirst := ds.location(line)
+	loDead := ds.dead(dimm, dataFirst)
+	hiDead := ds.dead(dimm, dataFirst+1)
+	parityDead := ds.dead(dimm, parityFirst) || ds.dead(dimm, parityFirst+1)
+
+	switch {
+	case !loDead && !hiDead:
+		out := make([]byte, trace.CacheLineSize)
+		copy(out, stored)
+		return out, done, nil
+	case (loDead != hiDead) && !parityDead && ds.psm.cfg.XCC:
+		// Exactly one half dead: rebuild it from sibling ⊕ parity — the
+		// real XOR, not a flag.
+		lo, hi := stored[:ecc.HalfSize], stored[ecc.HalfSize:]
+		parity := ecc.XCCParity(lo, hi) // what the parity devices hold
+		var rebuilt []byte
+		if loDead {
+			rebuilt = append(ecc.XCCReconstruct(hi, parity), hi...)
+		} else {
+			rebuilt = append(append([]byte{}, lo...), ecc.XCCReconstruct(lo, parity)...)
+		}
+		ds.reconstructions++
+		return rebuilt, done, nil
+	case ds.rs != nil:
+		// Two or more granule sets dead: the Section VIII symbol code.
+		word := append([]byte{}, ds.rsWords[line]...)
+		// The dead granules read as erased zeroes; model as symbol errors
+		// within the code's reach (t=8 symbols); beyond that it fails.
+		damage := 0
+		if loDead {
+			damage += 4
+		}
+		if hiDead {
+			damage += 4
+		}
+		for i := 0; i < damage; i++ {
+			word[(int(line)+i*7)%len(word)] ^= 0xFF
+		}
+		data, err := ds.rs.Decode(word)
+		if err != nil {
+			return nil, done, ErrDataLoss
+		}
+		ds.symbolRepairs++
+		out := make([]byte, trace.CacheLineSize)
+		copy(out, data)
+		return out, done.Add(ds.psm.cfg.SymbolDecodeLatency), nil
+	default:
+		return nil, done, ErrDataLoss
+	}
+}
+
+// Scrub rewrites every stored line (refreshing parity and codewords onto
+// whatever devices are currently alive) — the recovery action after a
+// device replacement. It returns the completion time.
+func (ds *DataStore) Scrub(now sim.Time) sim.Time {
+	t := now
+	for line, data := range ds.lines {
+		out, _, err := ds.ReadData(t, line)
+		if err != nil {
+			// Unrecoverable lines keep their stored content (the caller
+			// decided to scrub anyway); refresh the codes.
+			out = data
+		}
+		t = ds.WriteData(t, line, out)
+	}
+	return ds.psm.Flush(t)
+}
+
+// Lines reports how many lines carry content.
+func (ds *DataStore) Lines() int { return len(ds.lines) }
+
+// RecoveryStats reports byte-level reconstructions served by each code.
+func (ds *DataStore) RecoveryStats() (xcc, symbol uint64) {
+	return ds.reconstructions, ds.symbolRepairs
+}

@@ -1,0 +1,64 @@
+package psm
+
+// rowBuffer is the per-chip-enable-pair write buffer (Section V-A,
+// implemented as BRAM on the prototype). It tracks one open window — the
+// page the processor most recently wrote through this pair — and absorbs
+// further writes to that window without touching the PRAM core, which is
+// how overwrite conflicts with the cooling window are removed. When the
+// window moves (or the flush port fires), every dirty line is programmed to
+// the media as an early-return write.
+type rowBuffer struct {
+	open   bool
+	window uint64 // window index (line / windowLines)
+	dirty  uint64 // bitmap over up to 64 lines inside the window
+}
+
+// windowOf computes the window index for a line.
+func windowOf(line, windowLines uint64) uint64 { return line / windowLines }
+
+// hit reports whether the line falls in the open window.
+func (rb *rowBuffer) hit(line, windowLines uint64) bool {
+	return rb.open && windowOf(line, windowLines) == rb.window
+}
+
+// dirtyBit returns the bitmap mask for a line within the window.
+func dirtyBit(line, windowLines uint64) uint64 {
+	return 1 << (line % windowLines)
+}
+
+// markDirty records a buffered write.
+func (rb *rowBuffer) markDirty(line, windowLines uint64) {
+	rb.dirty |= dirtyBit(line, windowLines)
+}
+
+// isDirty reports whether the line has buffered (not yet programmed) data.
+func (rb *rowBuffer) isDirty(line, windowLines uint64) bool {
+	return rb.open && windowOf(line, windowLines) == rb.window &&
+		rb.dirty&dirtyBit(line, windowLines) != 0
+}
+
+// drain returns the dirty lines and empties the buffer.
+func (rb *rowBuffer) drain(windowLines uint64) []uint64 {
+	if !rb.open || rb.dirty == 0 {
+		rb.open = false
+		rb.dirty = 0
+		return nil
+	}
+	base := rb.window * windowLines
+	var lines []uint64
+	for i := uint64(0); i < windowLines && i < 64; i++ {
+		if rb.dirty&(1<<i) != 0 {
+			lines = append(lines, base+i)
+		}
+	}
+	rb.open = false
+	rb.dirty = 0
+	return lines
+}
+
+// openWindow switches the buffer to a new window (caller drains first).
+func (rb *rowBuffer) openWindow(line, windowLines uint64) {
+	rb.open = true
+	rb.window = windowOf(line, windowLines)
+	rb.dirty = 0
+}

@@ -1,0 +1,115 @@
+package psm
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRemixSeedPreservesBijection(t *testing.T) {
+	s := NewStartGap(64, 1, 5)
+	for i := 0; i < 37; i++ {
+		s.RecordWrite()
+	}
+	s.RemixSeed(0xFEED)
+	if !mappingIsBijection(s) {
+		t.Fatal("bijection broken after remix")
+	}
+	// Gap motion after the remix keeps it a bijection too.
+	for i := 0; i < 100; i++ {
+		s.RecordWrite()
+		if !mappingIsBijection(s) {
+			t.Fatalf("bijection broken %d moves after remix", i+1)
+		}
+	}
+}
+
+func TestRemixSeedChangesMapping(t *testing.T) {
+	s := NewStartGap(256, 1, 5)
+	before := make([]uint64, 256)
+	for la := range before {
+		before[la] = s.Map(uint64(la))
+	}
+	s.RemixSeed(0xBADC0DE)
+	changed := 0
+	for la := range before {
+		if s.Map(uint64(la)) != before[la] {
+			changed++
+		}
+	}
+	if changed < 200 {
+		t.Fatalf("remix changed only %d/256 mappings", changed)
+	}
+}
+
+// adversary finds the logical line currently mapping to the target
+// physical slot (an attacker who has reverse-engineered the randomizer and
+// tracks the gap — the Section VIII threat).
+func adversary(s *StartGap, targetPhys uint64) (uint64, bool) {
+	for la := uint64(0); la < s.lines; la++ {
+		if s.Map(la) == targetPhys {
+			return la, true
+		}
+	}
+	return 0, false
+}
+
+func TestSeedRotationDefeatsGapTracker(t *testing.T) {
+	// Without rotation, an adversary that re-aims at the same physical
+	// slot after every gap move concentrates all wear there; with
+	// periodic remixing it cannot (the paper's future-work defense only
+	// helps if the attacker cannot observe the new seed — model that).
+	attack := func(rotateEvery int) uint64 {
+		s := NewStartGap(128, 1, 7)
+		const target = 64
+		wear := map[uint64]uint64{}
+		la, _ := adversary(s, target)
+		rng := sim.NewRNG(99)
+		for i := 0; i < 4000; i++ {
+			if rotateEvery > 0 && i%rotateEvery == 0 && i > 0 {
+				s.RemixSeed(rng.Uint64())
+				// The attacker's knowledge is stale now: it keeps
+				// writing the old logical line.
+			} else if rotateEvery == 0 {
+				// No rotation: the attacker re-derives the mapping at
+				// will.
+				la, _ = adversary(s, target)
+			}
+			wear[s.Map(la)]++
+			s.RecordWrite()
+		}
+		return wear[target]
+	}
+	fixed := attack(0)
+	rotated := attack(200)
+	if rotated*4 >= fixed {
+		t.Fatalf("seed rotation did not defeat the tracker: target wear %d vs %d",
+			rotated, fixed)
+	}
+}
+
+func TestRemixWearSeedScrubCost(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WearLevelLines = 1 << 16
+	p := New(cfg)
+	done := p.RemixWearSeed(0, 0xABCD)
+	if !done.After(0) {
+		t.Fatal("scrub must take time")
+	}
+	// The scrub is a full-array read+program pass: it must scale with the
+	// line count.
+	cfg2 := DefaultConfig()
+	cfg2.WearLevelLines = 1 << 18
+	p2 := New(cfg2)
+	done2 := p2.RemixWearSeed(0, 0xABCD)
+	if done2.Sub(0) <= done.Sub(0)*2 {
+		t.Fatalf("scrub cost not proportional: %v vs %v", done2.Sub(0), done.Sub(0))
+	}
+}
+
+func TestRemixWearSeedNoopWithoutWL(t *testing.T) {
+	p := New(DefaultConfig())
+	if got := p.RemixWearSeed(sim.Time(5), 1); got != sim.Time(5) {
+		t.Fatal("remix without wear leveling must be a no-op")
+	}
+}

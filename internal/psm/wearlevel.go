@@ -1,0 +1,122 @@
+package psm
+
+// StartGap implements the Start-Gap wear-leveling algorithm (Qureshi et al.,
+// MICRO'09) used by the PSM (Section V-A): the logical line space is
+// statically randomized and then rotated through N+1 physical slots by a
+// moving gap, shifting one 64 B block every Threshold writes. The metadata
+// is tiny — start, gap, write counter, randomizer seed — which is why SnG
+// can persist it inside the EP-cut (Section VIII).
+type StartGap struct {
+	lines     uint64 // N logical lines; physical space has N+1 slots
+	start     uint64 // rotation register in [0, N)
+	gap       uint64 // gap slot in [0, N]; N means "at the end"
+	mult      uint64 // static randomizer multiplier, coprime with N
+	add       uint64 // static randomizer offset
+	writes    uint64
+	threshold uint64
+	moves     uint64
+}
+
+// NewStartGap builds a wear leveler over `lines` logical lines, shifting the
+// gap every `threshold` writes (paper default: 100). seed drives the static
+// randomizer.
+func NewStartGap(lines, threshold, seed uint64) *StartGap {
+	if lines == 0 {
+		panic("psm: StartGap needs a nonzero line count")
+	}
+	if threshold == 0 {
+		threshold = 100
+	}
+	s := &StartGap{
+		lines:     lines,
+		gap:       lines,
+		threshold: threshold,
+		add:       seed % lines,
+	}
+	// Pick a multiplier coprime with N so the randomizer is a bijection.
+	m := seed*2 + 0x9e3779b9 | 1
+	for gcd(m%lines, lines) != 1 || m%lines == 0 {
+		m += 2
+	}
+	s.mult = m % lines
+	return s
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// PhysicalLines reports the size of the physical space (N+1).
+func (s *StartGap) PhysicalLines() uint64 { return s.lines + 1 }
+
+// Map translates a logical line to its current physical slot.
+func (s *StartGap) Map(la uint64) uint64 {
+	if la >= s.lines {
+		panic("psm: logical line out of range")
+	}
+	ra := (la*s.mult + s.add) % s.lines
+	pa := ra + s.start
+	if pa >= s.lines {
+		pa -= s.lines
+	}
+	// Slots at or past the gap are shifted right by one.
+	if pa >= s.gap {
+		pa++
+	}
+	return pa
+}
+
+// RecordWrite accounts one serviced write; it reports true when the write
+// crossed the threshold and the gap moved (the caller charges one
+// block-copy read+write to the device timing model).
+func (s *StartGap) RecordWrite() (moved bool) {
+	s.writes++
+	if s.writes%s.threshold != 0 {
+		return false
+	}
+	// Move the gap one slot towards the front; wrapping bumps start.
+	if s.gap == 0 {
+		s.gap = s.lines
+		s.start++
+		if s.start == s.lines {
+			s.start = 0
+		}
+	} else {
+		s.gap--
+	}
+	s.moves++
+	return true
+}
+
+// Metadata reports the register state SnG persists at the EP-cut.
+func (s *StartGap) Metadata() (start, gap, writes, moves uint64) {
+	return s.start, s.gap, s.writes, s.moves
+}
+
+// Restore reinstates persisted register state (Go's recovery path).
+func (s *StartGap) Restore(start, gap, writes, moves uint64) {
+	if start >= s.lines || gap > s.lines {
+		panic("psm: invalid StartGap restore state")
+	}
+	s.start, s.gap, s.writes, s.moves = start, gap, writes, moves
+}
+
+// RemixSeed re-derives the static randomizer from a fresh seed — the
+// Section VIII future-work defense against adversarial access patterns
+// that track the gap ("we consider periodically changing the seed register
+// value"). Changing the randomizer remaps every logical line, so the
+// caller must relocate the data (the PSM charges a full scrub); the
+// mapping remains a bijection and the rotation registers restart.
+func (s *StartGap) RemixSeed(seed uint64) {
+	s.add = seed % s.lines
+	m := seed*2 + 0x9e3779b9 | 1
+	for gcd(m%s.lines, s.lines) != 1 || m%s.lines == 0 {
+		m += 2
+	}
+	s.mult = m % s.lines
+	s.start = 0
+	s.gap = s.lines
+}

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Add("beta-longer", "22")
+	tb.Note("a note %d", 7)
+	s := tb.String()
+	if !strings.Contains(s, "== Demo ==") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(s, "beta-longer") || !strings.Contains(s, "* a note 7") {
+		t.Fatalf("content missing:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// title + header + rule + 2 rows + note
+	if len(lines) != 6 {
+		t.Fatalf("line count = %d:\n%s", len(lines), s)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := New("", "a")
+	tb.Add("x", "extra", "cols")
+	if s := tb.String(); !strings.Contains(s, "extra") {
+		t.Fatal("ragged row dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.234, 2) != "1.23" {
+		t.Fatal("F broken")
+	}
+	if X(2.5) != "2.50x" {
+		t.Fatal("X broken")
+	}
+	if Pct(0.731) != "73.1%" {
+		t.Fatal("Pct broken")
+	}
+	if Dur(12800*sim.Microsecond) != "12.800ms" {
+		t.Fatal("Dur broken")
+	}
+	if Count(21.7e6) != "21.7M" || Count(3900) != "3.9K" || Count(12) != "12" {
+		t.Fatal("Count broken")
+	}
+}

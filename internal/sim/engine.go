@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a unit of scheduled work. The callback runs when simulated time
+// reaches the event's deadline.
+type Event struct {
+	at       Time
+	seq      uint64 // tiebreaker: FIFO among same-timestamp events
+	index    int    // heap index, -1 when not queued
+	canceled bool
+	fn       func(now Time)
+	label    string
+}
+
+// At reports the time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Label reports the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator. It is not safe for
+// concurrent use; the whole simulation is single-threaded by design so that
+// results are bit-reproducible for a given seed.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	events uint64 // total dispatched
+}
+
+// NewEngine returns an engine positioned at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Dispatched reports how many events have run so far.
+func (e *Engine) Dispatched() uint64 { return e.events }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run after delay. It returns the event handle, which
+// may be canceled. A negative delay is an error in the caller; it panics to
+// surface the bug immediately.
+func (e *Engine) Schedule(delay Duration, label string, fn func(now Time)) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %q", delay, label))
+	}
+	return e.ScheduleAt(e.now.Add(delay), label, fn)
+}
+
+// ScheduleAt queues fn to run at the absolute timestamp at, which must not
+// be in the simulated past.
+func (e *Engine) ScheduleAt(at Time, label string, fn func(now Time)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", label, at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step runs the single earliest event. It reports false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.events++
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps at or before deadline, then
+// advances the clock to deadline (if the clock has not already passed it).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 {
+		// Peek.
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances simulated time by d, dispatching due events.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30*Nanosecond, "c", func(Time) { order = append(order, 3) })
+	e.Schedule(10*Nanosecond, "a", func(Time) { order = append(order, 1) })
+	e.Schedule(20*Nanosecond, "b", func(Time) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != Time(30*Nanosecond) {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*Nanosecond, "same", func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: %v", i, order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(Nanosecond, "x", func(Time) { ran = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	e.Cancel(nil) // nil-safe
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(Nanosecond, "outer", func(now Time) {
+		fired = append(fired, now)
+		e.Schedule(2*Nanosecond, "inner", func(now Time) {
+			fired = append(fired, now)
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != Time(Nanosecond) || fired[1] != Time(3*Nanosecond) {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i)*Microsecond, "tick", func(Time) { count++ })
+	}
+	e.RunUntil(Time(5 * Microsecond))
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	if e.Now() != Time(5*Microsecond) {
+		t.Fatalf("Now = %v", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.RunFor(100 * Microsecond)
+	if count != 10 {
+		t.Fatalf("count after RunFor = %d", count)
+	}
+}
+
+func TestEngineClockAdvancesToDeadline(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(Time(7 * Millisecond))
+	if e.Now() != Time(7*Millisecond) {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Microsecond, "tick", func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for past-scheduled event")
+		}
+	}()
+	e.ScheduleAt(Time(0), "past", func(Time) {})
+}
+
+func TestEnginePanicsOnNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	e.Schedule(-Nanosecond, "neg", func(Time) {})
+}
+
+func TestEngineDispatchCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 100; i++ {
+		e.Schedule(Duration(i)*Nanosecond, "n", func(Time) {})
+	}
+	e.Run()
+	if e.Dispatched() != 100 {
+		t.Fatalf("Dispatched = %d", e.Dispatched())
+	}
+}
+
+// Property: events always dispatch in nondecreasing time order regardless of
+// insertion order.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var seen []Time
+		for _, d := range delays {
+			e.Schedule(Duration(d)*Nanosecond, "p", func(now Time) {
+				seen = append(seen, now)
+			})
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

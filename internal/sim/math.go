@@ -1,0 +1,11 @@
+package sim
+
+import "math"
+
+// Thin aliases so the RNG file stays focused on the generator logic.
+
+const pi = math.Pi
+
+func mathLog(x float64) float64 { return math.Log(x) }
+func sqrt(x float64) float64    { return math.Sqrt(x) }
+func cos(x float64) float64     { return math.Cos(x) }

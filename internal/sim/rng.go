@@ -1,0 +1,113 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random source
+// (xoshiro256**). Every stochastic element of the simulation draws from an
+// explicitly seeded RNG so runs are reproducible.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from the given value via SplitMix64, so
+// even small or similar seeds produce well-mixed state.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Intn returns a uniform integer in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics when n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Exp returns an exponentially distributed duration with the given mean.
+func (r *RNG) Exp(mean Duration) Duration {
+	u := r.Float64()
+	// Avoid log(0).
+	if u >= 0.999999999 {
+		u = 0.999999999
+	}
+	return Duration(float64(mean) * negLog1m(u))
+}
+
+// negLog1m computes -ln(1-u) via a series-free call to math.Log would pull
+// in math; the simulation only needs modest accuracy, so use the identity
+// with the standard library once. (math is part of the stdlib and cheap.)
+func negLog1m(u float64) float64 {
+	return -ln(1 - u)
+}
+
+// ln is a thin wrapper kept separate for testability.
+func ln(x float64) float64 {
+	// Use math.Log via an indirection-free import in log.go to keep this
+	// file dependency-light for documentation purposes.
+	return mathLog(x)
+}
+
+// Norm returns a normally distributed value with the given mean and standard
+// deviation (Box–Muller, one value per call for simplicity).
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	z := sqrt(-2*mathLog(u1)) * cos(2*pi*u2)
+	return mean + stddev*z
+}
+
+// Fork derives an independent RNG stream labeled by id. Distinct ids yield
+// decorrelated streams even under the same parent seed.
+func (r *RNG) Fork(id uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (id * 0x9e3779b97f4a7c15))
+}
+
+// Shuffle permutes the first n indices using swap, Fisher–Yates.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

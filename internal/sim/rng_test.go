@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("too many collisions between different seeds: %d", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(13)
+	var sum Duration
+	const n = 50000
+	mean := 100 * Nanosecond
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := float64(sum) / n
+	if got < 0.95*float64(mean) || got > 1.05*float64(mean) {
+		t.Fatalf("Exp mean = %v, want ~%v", Duration(got), mean)
+	}
+}
+
+func TestRNGNorm(t *testing.T) {
+	r := NewRNG(17)
+	var sum, sq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if mean < 9.9 || mean > 10.1 {
+		t.Fatalf("Norm mean = %v", mean)
+	}
+	if variance < 3.6 || variance > 4.4 {
+		t.Fatalf("Norm variance = %v", variance)
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(5)
+	c1 := parent.Fork(1)
+	c2 := parent.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams correlated: %d collisions", same)
+	}
+}
+
+func TestRNGShuffleIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		r := NewRNG(seed)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = i
+		}
+		r.Shuffle(n, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		seen := make([]bool, n)
+		for _, v := range xs {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGBool(t *testing.T) {
+	r := NewRNG(23)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if p < 0.29 || p > 0.31 {
+		t.Fatalf("Bool(0.3) frequency = %v", p)
+	}
+}

@@ -1,0 +1,73 @@
+package sng
+
+import (
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Scheduler sequences the power lifecycle on a discrete-event engine: the
+// power-event interrupt, the hold-up expiry (rails dropping), and the
+// power-restore recovery are engine events with real timestamps, so
+// multiple failures, restores, and intervening work interleave naturally
+// on one timeline.
+type Scheduler struct {
+	E *sim.Engine
+	S *SnG
+
+	// PSU supplies the spec hold-up window SnG budgets against.
+	PSU power.PSU
+
+	stops      []StopReport
+	goReports  []GoReport
+	goFailures int
+}
+
+// NewScheduler binds SnG to an engine with the given PSU.
+func NewScheduler(e *sim.Engine, s *SnG, psu power.PSU) *Scheduler {
+	return &Scheduler{E: e, S: s, PSU: psu}
+}
+
+// ScheduleFailure arms a power-event interrupt after delay. When it fires,
+// SnG's Stop runs against the PSU's spec window; the rails drop at the
+// window's end regardless of whether the EP-cut committed.
+func (sc *Scheduler) ScheduleFailure(delay sim.Duration) {
+	sc.E.Schedule(delay, "power-failure", func(now sim.Time) {
+		deadline := now.Add(sim.Duration(sc.PSU.SpecHoldUp))
+		rep := sc.S.Stop(now, deadline)
+		sc.stops = append(sc.stops, rep)
+		sc.E.ScheduleAt(deadline, "rails-dead", func(sim.Time) {
+			sc.S.K.PowerLoss()
+		})
+	})
+}
+
+// ScheduleRestore arms the power-return event after delay: Go runs if a
+// committed EP-cut exists; otherwise the failure is recorded (the caller
+// cold-boots).
+func (sc *Scheduler) ScheduleRestore(delay sim.Duration) {
+	sc.E.Schedule(delay, "power-restore", func(now sim.Time) {
+		rep, err := sc.S.Go(now)
+		if err != nil {
+			sc.goFailures++
+			return
+		}
+		sc.goReports = append(sc.goReports, rep)
+	})
+}
+
+// ScheduleWork arms a burst of system activity (the live workload between
+// power events).
+func (sc *Scheduler) ScheduleWork(delay sim.Duration, ticks int) {
+	sc.E.Schedule(delay, "workload", func(sim.Time) {
+		sc.S.K.Tick(ticks)
+	})
+}
+
+// Stops reports every Stop outcome in event order.
+func (sc *Scheduler) Stops() []StopReport { return sc.stops }
+
+// Recoveries reports every successful Go in event order.
+func (sc *Scheduler) Recoveries() []GoReport { return sc.goReports }
+
+// FailedRecoveries reports power-restores that found no commit.
+func (sc *Scheduler) FailedRecoveries() int { return sc.goFailures }

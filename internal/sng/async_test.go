@@ -1,0 +1,103 @@
+package sng
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+func TestSchedulerPowerCycleOnEngine(t *testing.T) {
+	e := sim.NewEngine()
+	k := busySystem(30)
+	sc := NewScheduler(e, New(k), power.ATX())
+
+	sc.ScheduleWork(10*sim.Millisecond, 5)
+	sc.ScheduleFailure(50 * sim.Millisecond)
+	sc.ScheduleRestore(500 * sim.Millisecond)
+	sc.ScheduleWork(600*sim.Millisecond, 5)
+	e.Run()
+
+	if len(sc.Stops()) != 1 || !sc.Stops()[0].Completed {
+		t.Fatalf("stops = %+v", sc.Stops())
+	}
+	if len(sc.Recoveries()) != 1 {
+		t.Fatalf("recoveries = %d", len(sc.Recoveries()))
+	}
+	if sc.FailedRecoveries() != 0 {
+		t.Fatal("unexpected failed recovery")
+	}
+	// The engine carried the system through: it runs after the cycle.
+	if k.RunnableCount() == 0 {
+		t.Fatal("system dead after the engine-driven cycle")
+	}
+	if e.Now() < sim.Time(600*sim.Millisecond) {
+		t.Fatalf("engine stopped early at %v", e.Now())
+	}
+}
+
+func TestSchedulerStormOnEngine(t *testing.T) {
+	e := sim.NewEngine()
+	k := busySystem(31)
+	sc := NewScheduler(e, New(k), power.Server())
+
+	at := sim.Duration(0)
+	for i := 0; i < 6; i++ {
+		at += 20 * sim.Millisecond
+		sc.ScheduleWork(at, 3)
+		at += 20 * sim.Millisecond
+		sc.ScheduleFailure(at)
+		at += 200 * sim.Millisecond
+		sc.ScheduleRestore(at)
+	}
+	e.Run()
+
+	if len(sc.Stops()) != 6 || len(sc.Recoveries()) != 6 {
+		t.Fatalf("storm: %d stops, %d recoveries",
+			len(sc.Stops()), len(sc.Recoveries()))
+	}
+	for i, rep := range sc.Stops() {
+		if !rep.Completed {
+			t.Fatalf("stop %d incomplete", i)
+		}
+	}
+}
+
+func TestSchedulerTornStopFailsRecovery(t *testing.T) {
+	e := sim.NewEngine()
+	k := busySystem(32)
+	tiny := power.PSU{Name: "tiny", StoredJ: 0.0001, SpecHoldUp: sim.Duration(200 * sim.Microsecond)}
+	sc := NewScheduler(e, New(k), tiny)
+
+	sc.ScheduleFailure(sim.Millisecond)
+	sc.ScheduleRestore(sim.Second)
+	e.Run()
+
+	if sc.Stops()[0].Completed {
+		t.Fatal("stop fit a 200 µs window?")
+	}
+	if sc.FailedRecoveries() != 1 || len(sc.Recoveries()) != 0 {
+		t.Fatalf("failed=%d ok=%d", sc.FailedRecoveries(), len(sc.Recoveries()))
+	}
+	// Cold-boot semantics: everything runnable is gone.
+	for _, p := range k.Procs {
+		if p.State == kernel.TaskRunning {
+			t.Fatal("running process after unrecovered power loss")
+		}
+	}
+}
+
+func TestSchedulerRailsDropAfterHoldUp(t *testing.T) {
+	e := sim.NewEngine()
+	k := busySystem(33)
+	sc := NewScheduler(e, New(k), power.ATX())
+	sc.ScheduleFailure(0)
+	// After the hold-up expires the rails drop.
+	e.Run()
+	for _, c := range k.Cores {
+		if c.Online {
+			t.Fatal("core online after rails dropped")
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package sng implements PecOS's Stop-and-Go (Sections III-B and IV): the
+// mechanism that turns every non-persistent state into persistent
+// information inside the PSU hold-up window (Stop → the EP-cut) and revives
+// the system from that cut when power returns (Go).
+//
+// Stop has two phases:
+//
+//   - Drive-to-Idle: the core that takes the power interrupt becomes the
+//     master, raises the system-wide persistent flag, traverses every alive
+//     PCB (masking user tasks with TIF_SIGPENDING, waking sleepers onto
+//     workers in a load-balanced way), and has the workers park every task
+//     TASK_UNINTERRUPTIBLE until all cores idle.
+//   - Auto-Stop: the master walks dpm_list through
+//     prepare/suspend/suspend_noirq, saves peripheral MMIO into DCBs,
+//     cleans the per-core kernel task pointers, offlines workers one by one
+//     (register dump + cache flush), then traps into the bootloader to
+//     store machine registers, the wear-leveler metadata, and the MEPC, and
+//     finally writes the commit — the EP-cut — after a full memory
+//     synchronization.
+//
+// The implementation is deadline-driven: every step charges simulated time,
+// and if the power inactivation delay expires mid-way the run aborts with
+// whatever partial state exists — the crash-consistency property tests
+// verify that only the commit word makes a cut recoverable.
+package sng
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/psm"
+	"repro/internal/sim"
+)
+
+// ErrNoCommit is returned by Go when no committed EP-cut exists: the caller
+// must cold-boot instead.
+var ErrNoCommit = errors.New("sng: no committed EP-cut (cold boot required)")
+
+// epCutPC is the kernel-side re-entry point Go jumps to via the MEPC.
+const epCutPC = 0x8000_2000
+
+// SnG binds the mechanism to a system. PSM is optional; when present its
+// flush port provides the real memory-synchronization time and the
+// wear-leveler metadata rides the BCB.
+type SnG struct {
+	K *kernel.Kernel
+	P *psm.PSM
+	T Timing
+
+	// Unbalanced disables Drive-to-Idle's load-balanced sleeper
+	// distribution (ablation): every woken task lands on one worker.
+	Unbalanced bool
+}
+
+// New builds an SnG over the kernel with default timing.
+func New(k *kernel.Kernel) *SnG { return &SnG{K: k, T: DefaultTiming()} }
+
+// StopReport decomposes one Stop run (Figure 8b).
+type StopReport struct {
+	ProcessStop sim.Duration // Drive-to-Idle
+	DeviceStop  sim.Duration // dpm walk + peripherals
+	Offline     sim.Duration // core offline + bootloader + commit
+	Total       sim.Duration
+
+	// Completed reports whether the commit was written before the
+	// deadline.
+	Completed bool
+
+	WokenSleepers  int
+	ParkedTasks    int
+	StoppedDevices int
+	FlushedLines   int
+	Peripherals    int
+}
+
+// stopRun tracks master time against the deadline.
+type stopRun struct {
+	t        sim.Time
+	deadline sim.Time
+	dead     bool
+}
+
+// spend charges d to the master timeline; it reports false once the rails
+// have dropped (no further state change may be applied).
+func (r *stopRun) spend(d sim.Duration) bool {
+	if r.dead {
+		return false
+	}
+	r.t = r.t.Add(d)
+	if r.t.After(r.deadline) {
+		r.dead = true
+		return false
+	}
+	return true
+}
+
+// Stop executes Drive-to-Idle and Auto-Stop starting at now, with the power
+// rails guaranteed only until deadline. State mutations are applied step by
+// step, so an expired deadline leaves a realistically torn (but
+// unrecoverable-by-design: no commit) system.
+func (s *SnG) Stop(now, deadline sim.Time) StopReport {
+	var rep StopReport
+	run := &stopRun{t: now, deadline: deadline}
+	k := s.K
+
+	// ---- Drive-to-Idle -------------------------------------------------
+	phaseStart := run.t
+	if run.spend(s.T.InterruptEntry) {
+		k.PersistFlag = true
+	}
+
+	// Per-worker parallel timelines.
+	workers := make([]sim.Duration, len(k.Cores))
+	// The master walks every alive PCB; sleepers are woken round-robin
+	// across cores (balanced), user tasks get the fake-signal treatment.
+	nextCore := 0
+	for _, p := range k.Alive() {
+		if !run.spend(s.T.PCBVisit) {
+			break
+		}
+		if !p.Kernel {
+			p.SigPending = true // TIF_SIGPENDING
+		}
+		if p.State == kernel.TaskSleeping {
+			core := nextCore % len(k.Cores)
+			nextCore++
+			if s.Unbalanced {
+				core = 1 % len(k.Cores)
+			}
+			if !run.spend(s.T.IPI) {
+				break
+			}
+			k.WakeToCore(p, core)
+			rep.WokenSleepers++
+			workers[core] += s.T.WorkerReschedule
+			if !p.Kernel {
+				workers[core] += s.T.FakeSignal
+			}
+		}
+	}
+	// Workers park everything on their queues (running tasks included).
+	if !run.dead {
+		for ci, c := range k.Cores {
+			tasks := 0
+			if c.Current != nil {
+				tasks++
+			}
+			tasks += len(c.RunQueue)
+			workers[ci] += sim.Duration(tasks) * s.T.WorkerReschedule
+		}
+		// Apply the parking: every running/runnable task goes
+		// TASK_UNINTERRUPTIBLE; each core ends on its idle task.
+		for _, p := range k.Alive() {
+			if p.State == kernel.TaskRunning || p.State == kernel.TaskRunnable {
+				k.Park(p)
+				rep.ParkedTasks++
+			}
+		}
+		for _, c := range k.Cores {
+			k.InstallIdle(c)
+		}
+		// The phase ends when the slowest worker finishes, plus the sync.
+		var wmax sim.Duration
+		for _, w := range workers {
+			if w > wmax {
+				wmax = w
+			}
+		}
+		if run.t.Sub(phaseStart) < wmax {
+			run.spend(wmax - run.t.Sub(phaseStart))
+		}
+		run.spend(s.T.CoreSync)
+	}
+	rep.ProcessStop = run.t.Sub(phaseStart)
+
+	// ---- Auto-Stop: stopping devices ------------------------------------
+	phaseStart = run.t
+	if !run.dead {
+		for _, d := range k.Devices {
+			if !run.spend(d.PrepareCost) {
+				break
+			}
+			if err := d.Prepare(); err != nil {
+				panic(fmt.Sprintf("sng: dpm order violated: %v", err))
+			}
+			if !run.spend(d.SuspendCost) {
+				break
+			}
+			if err := d.Suspend(); err != nil {
+				panic(fmt.Sprintf("sng: dpm order violated: %v", err))
+			}
+			if !run.spend(d.NoIrqCost) {
+				break
+			}
+			if err := d.SuspendNoIrq(k.OCPMEM); err != nil {
+				panic(fmt.Sprintf("sng: dpm order violated: %v", err))
+			}
+			rep.StoppedDevices++
+			if d.Peripheral {
+				if !run.spend(s.T.PeripheralSave) {
+					break
+				}
+				rep.Peripherals++
+			}
+		}
+	}
+	rep.DeviceStop = run.t.Sub(phaseStart)
+
+	// ---- Auto-Stop: drawing the EP-cut ----------------------------------
+	phaseStart = run.t
+	if !run.dead {
+		// Clean the kernel task pointers so recovered cores synchronize.
+		for _, c := range k.Cores {
+			if !run.spend(s.T.TaskPtrClean) {
+				break
+			}
+			c.KTaskPtr, c.KStackPtr = 0, 0
+		}
+	}
+	if !run.dead {
+		// Workers offline one by one: dump registers, flush the cache,
+		// power down (master IPIs each).
+		for _, c := range k.Cores[1:] {
+			if !run.spend(s.T.IPI + s.T.RegisterDump) {
+				break
+			}
+			k.Boot.SaveCoreRegisters(c)
+			flush := sim.Duration(c.DirtyLines) * s.T.FlushPerLine
+			if !run.spend(flush + s.T.CoreOffline) {
+				break
+			}
+			rep.FlushedLines += c.DirtyLines
+			c.DirtyLines = 0
+			c.Online = false
+		}
+	}
+	if !run.dead {
+		// Master: exception into the bootloader; store its machine
+		// registers; flush its cache; synchronize memory; record wear
+		// metadata and the MEPC; commit.
+		master := k.Cores[0]
+		if run.spend(s.T.BootloaderJump + s.T.RegisterDump) {
+			k.Boot.SaveCoreRegisters(master)
+			flush := sim.Duration(master.DirtyLines) * s.T.FlushPerLine
+			if run.spend(flush) {
+				rep.FlushedLines += master.DirtyLines
+				master.DirtyLines = 0
+
+				sync := s.T.MemSync
+				if s.P != nil {
+					end := s.P.Flush(run.t)
+					sync += end.Sub(run.t)
+				}
+				if run.spend(sync) {
+					if s.P != nil {
+						if wl := s.P.WearLeveler(); wl != nil {
+							a, b, c, d := wl.Metadata()
+							k.Boot.SaveWearMeta([4]uint64{a, b, c, d})
+						}
+					}
+					k.Boot.SetMEPC(epCutPC)
+					k.PersistFlag = false
+					if run.spend(s.T.BCBWrite) {
+						k.Boot.Commit()
+						master.Online = false
+						rep.Completed = true
+					}
+				}
+			}
+		}
+	}
+	rep.Offline = run.t.Sub(phaseStart)
+	rep.Total = rep.ProcessStop + rep.DeviceStop + rep.Offline
+	return rep
+}
+
+// GoReport decomposes one recovery.
+type GoReport struct {
+	BootCheck     sim.Duration
+	CoreBringUp   sim.Duration
+	DeviceResume  sim.Duration
+	ProcessResume sim.Duration
+	Total         sim.Duration
+
+	ResumedTasks   int
+	ResumedDevices int
+}
+
+// Go recovers the system from a committed EP-cut starting at now. It
+// returns ErrNoCommit when no cut exists (cold boot path: pass control to
+// start_kernel instead).
+func (s *SnG) Go(now sim.Time) (GoReport, error) {
+	var rep GoReport
+	k := s.K
+	t := now
+
+	// Phase 0: bootloader checks the Stop commit.
+	t = t.Add(s.T.BootCheck)
+	if !k.Boot.HasCommit() {
+		rep.BootCheck = t.Sub(now)
+		rep.Total = rep.BootCheck
+		return rep, ErrNoCommit
+	}
+	// Restore BCB into the master; boost to machine mode.
+	t = t.Add(s.T.BCBRestore)
+	master := k.Cores[0]
+	master.Online = true
+	k.Boot.RestoreCoreRegisters(master)
+	if mepc := k.Boot.MEPC(); mepc != epCutPC {
+		return rep, fmt.Errorf("sng: corrupt BCB: MEPC %#x", mepc)
+	}
+	rep.BootCheck = t.Sub(now)
+
+	// Phase 1: power workers up one by one; they wait on the task
+	// pointers until the master hands them the idle task.
+	phase := t
+	for _, c := range k.Cores[1:] {
+		t = t.Add(s.T.CoreBringUp + s.T.IPI)
+		c.Online = true
+		k.Boot.RestoreCoreRegisters(c)
+		c.KTaskPtr = 0xCAFE0000 + uint64(c.ID)
+		c.KStackPtr = 0xBEEF0000 + uint64(c.ID)
+		c.Idle = true
+	}
+	rep.CoreBringUp = t.Sub(phase)
+
+	// Phase 2: revive devices in inverse dpm order.
+	phase = t
+	for i := len(k.Devices) - 1; i >= 0; i-- {
+		d := k.Devices[i]
+		if d.State != kernel.DevOff {
+			continue
+		}
+		t = t.Add(d.ResumeCost)
+		if err := d.ResumeNoIrq(k.OCPMEM); err != nil {
+			return rep, err
+		}
+		if d.Peripheral {
+			t = t.Add(s.T.MMIORestore)
+		}
+		if err := d.Resume(); err != nil {
+			return rep, err
+		}
+		if err := d.Complete(); err != nil {
+			return rep, err
+		}
+		rep.ResumedDevices++
+	}
+	rep.DeviceResume = t.Sub(phase)
+
+	// Phase 3: restore wear-leveler state, flush TLBs, requeue tasks
+	// (kernel threads first, then user), and schedule.
+	phase = t
+	if s.P != nil {
+		if wl := s.P.WearLeveler(); wl != nil {
+			m := k.Boot.WearMeta()
+			wl.Restore(m[0], m[1], m[2], m[3])
+		}
+	}
+	k.FlushAllTLBs()
+	t = t.Add(sim.Duration(len(k.Cores)) * s.T.TLBFlush)
+	// Parallel requeue across cores: charge the slowest queue.
+	perCore := make([]sim.Duration, len(k.Cores))
+	requeue := func(wantKernel bool) {
+		for _, p := range k.Procs {
+			if p.State != kernel.TaskUninterruptible || p.Kernel != wantKernel {
+				continue
+			}
+			k.Unpark(p)
+			p.SigPending = false
+			core := p.CoreID
+			if core < 0 || core >= len(k.Cores) {
+				core = 0
+			}
+			perCore[core] += s.T.TaskReschedule
+			rep.ResumedTasks++
+		}
+	}
+	requeue(true)
+	requeue(false)
+	var slowest sim.Duration
+	for _, d := range perCore {
+		if d > slowest {
+			slowest = d
+		}
+	}
+	t = t.Add(slowest)
+	k.ScheduleAll()
+	// Recovery is done; consume the commit so the next power event needs
+	// a fresh EP-cut.
+	k.Boot.ClearCommit()
+	rep.ProcessResume = t.Sub(phase)
+	rep.Total = t.Sub(now)
+	return rep, nil
+}

@@ -1,0 +1,84 @@
+package sng
+
+import "repro/internal/sim"
+
+// Timing parameterizes the software costs of SnG's steps on the prototype
+// (RV64 cores; costs calibrated so the Figure 8b decomposition lands at
+// roughly 12% process stop / 38% device stop / 50% offline, with the busy
+// 8-core system finishing well inside the 16 ms ATX spec window).
+type Timing struct {
+	// InterruptEntry is the power-event trap into the master's handler.
+	InterruptEntry sim.Duration
+	// PCBVisit is the master's per-task_struct traversal cost.
+	PCBVisit sim.Duration
+	// IPI is one inter-processor interrupt delivery.
+	IPI sim.Duration
+	// FakeSignal is delivering the fake signal that bounces a user task
+	// through its kernel-mode stack (entry.S).
+	FakeSignal sim.Duration
+	// WorkerReschedule is a worker parking one task (context switch out,
+	// run-queue removal, TASK_UNINTERRUPTIBLE).
+	WorkerReschedule sim.Duration
+	// CoreSync is the all-cores idle barrier ending Drive-to-Idle.
+	CoreSync sim.Duration
+
+	// PeripheralSave copies one peripheral's MMIO region into its DCB.
+	PeripheralSave sim.Duration
+
+	// TaskPtrClean clears one core's __cpu_up task/stack pointers.
+	TaskPtrClean sim.Duration
+	// RegisterDump stores one core's architectural + machine registers.
+	RegisterDump sim.Duration
+	// CoreOffline is one worker's power-down handshake with the master.
+	CoreOffline sim.Duration
+	// FlushPerLine is the per-dirty-line cost of a cache dump to OC-PMEM.
+	FlushPerLine sim.Duration
+
+	// BootloaderJump is the master's exception into the bootloader plus
+	// the machine-register stores only it may perform.
+	BootloaderJump sim.Duration
+	// MemSync is the memory-synchronization wait at the PSM flush port
+	// (base cost; a live PSM adds its actual drain time).
+	MemSync sim.Duration
+	// BCBWrite stores the MEPC, wear metadata, and commit word.
+	BCBWrite sim.Duration
+
+	// Go-side costs.
+	BootCheck      sim.Duration // load bootloader, test the Stop commit
+	BCBRestore     sim.Duration // reload machine registers and MEPC
+	CoreBringUp    sim.Duration // power one worker up and reconfigure it
+	MMIORestore    sim.Duration // restore one peripheral's MMIO region
+	TLBFlush       sim.Duration // per core, before ready-to-schedule
+	TaskReschedule sim.Duration // re-queue one stopped process
+}
+
+// DefaultTiming is the calibrated cost set.
+func DefaultTiming() Timing {
+	us := sim.Microsecond
+	return Timing{
+		InterruptEntry:   10 * us,
+		PCBVisit:         3 * us,
+		IPI:              2 * us,
+		FakeSignal:       10 * us,
+		WorkerReschedule: 50 * us,
+		CoreSync:         30 * us,
+
+		PeripheralSave: 20 * us,
+
+		TaskPtrClean: 3 * us,
+		RegisterDump: 20 * us,
+		CoreOffline:  40 * us,
+		FlushPerLine: 40 * sim.Nanosecond,
+
+		BootloaderJump: 900 * us,
+		MemSync:        2200 * us,
+		BCBWrite:       400 * us,
+
+		BootCheck:      200 * us,
+		BCBRestore:     300 * us,
+		CoreBringUp:    150 * us,
+		MMIORestore:    15 * us,
+		TLBFlush:       20 * us,
+		TaskReschedule: 30 * us,
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"repro/internal/trace"
+)
+
+// Kernel identifies a STREAM kernel (McCalpin): Copy and Scale move one
+// array to another (1 load + 1 store per element); Add and Triad combine
+// two arrays into a third (2 loads + 1 store), which is why Figure 17 shows
+// them closer to LegacyPC — more reads.
+type Kernel int
+
+// STREAM kernels.
+const (
+	Copy Kernel = iota
+	Scale
+	Add
+	Triad
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case Copy:
+		return "Copy"
+	case Scale:
+		return "Scale"
+	case Add:
+		return "Add"
+	case Triad:
+		return "Triad"
+	default:
+		return "Kernel(?)"
+	}
+}
+
+// Kernels lists all four in paper order.
+func Kernels() []Kernel { return []Kernel{Copy, Scale, Add, Triad} }
+
+// BytesPerElement reports the traffic one element iteration moves (8 B
+// doubles): loads + stores.
+func (k Kernel) BytesPerElement() uint64 {
+	switch k {
+	case Add, Triad:
+		return 24
+	default:
+		return 16
+	}
+}
+
+// elementSize is a STREAM double.
+const elementSize = 8
+
+const elemsPerLine = trace.CacheLineSize / elementSize
+
+// Stream generates the access stream of one STREAM kernel over arrays of
+// `elements` doubles. The arrays are far larger than L1, so each new line
+// misses once and the remaining 7 element touches hit — the ~90% hit, 94%
+// write-heavier profile Section VI-A describes.
+type Stream struct {
+	kernel   Kernel
+	elements uint64
+	i        uint64
+	phase    int // which access within the element iteration
+
+	// Array base addresses, spaced far apart.
+	a, b, c uint64
+
+	stats trace.Stats
+}
+
+// NewStream builds the generator.
+func NewStream(kernel Kernel, elements uint64) *Stream {
+	const gap = 1 << 32
+	return &Stream{kernel: kernel, elements: elements, a: 0, b: gap, c: 2 * gap}
+}
+
+// Name identifies the kernel.
+func (s *Stream) Name() string { return "STREAM-" + s.kernel.String() }
+
+// accessesPerElement reports loads+stores per element iteration.
+func (s *Stream) accessesPerElement() int {
+	if s.kernel == Add || s.kernel == Triad {
+		return 3
+	}
+	return 2
+}
+
+// Remaining reports outstanding references.
+func (s *Stream) Remaining() uint64 {
+	if s.i >= s.elements {
+		return 0
+	}
+	per := uint64(s.accessesPerElement())
+	return (s.elements-s.i)*per - uint64(s.phase)
+}
+
+// Stats exposes traffic characterization.
+func (s *Stream) Stats() trace.Stats { return s.stats }
+
+// Next emits one reference. Element iterations expand to their loads then
+// the store; line-crossing references are pre-decided misses.
+func (s *Stream) Next() (Ref, bool) {
+	if s.i >= s.elements {
+		return Ref{}, false
+	}
+	off := s.i * elementSize
+	newLine := s.i%elemsPerLine == 0
+	var ref Ref
+	ref.ComputeCycles = 1 // tight FP loop
+
+	emitRead := func(base uint64) {
+		s.stats.Reads++
+		s.stats.DReadTotal++
+		hit := !newLine
+		if hit {
+			s.stats.DReadHits++
+		}
+		ref.Access = trace.Access{Op: trace.OpRead, Addr: base + off, Size: elementSize}
+		ref.L1Hit = hit
+	}
+	emitWrite := func(base uint64) {
+		s.stats.Writes++
+		s.stats.DWriteTotal++
+		hit := !newLine
+		if hit {
+			s.stats.DWriteHits++
+		}
+		ref.Access = trace.Access{Op: trace.OpWrite, Addr: base + off, Size: elementSize}
+		ref.L1Hit = hit
+	}
+
+	switch s.kernel {
+	case Copy, Scale: // c[i] = (q*)a[i]
+		if s.phase == 0 {
+			emitRead(s.a)
+			s.phase = 1
+		} else {
+			emitWrite(s.c)
+			s.phase = 0
+			s.i++
+		}
+	case Add, Triad: // c[i] = a[i] + (q*)b[i]
+		switch s.phase {
+		case 0:
+			emitRead(s.a)
+			s.phase = 1
+		case 1:
+			emitRead(s.b)
+			s.phase = 2
+		default:
+			emitWrite(s.c)
+			s.phase = 0
+			s.i++
+		}
+	}
+	return ref, true
+}

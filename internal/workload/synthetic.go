@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Ref is one memory-level reference (an L1 miss reaching the memory
+// subsystem) emitted by a generator, plus the compute gap that precedes it.
+//
+// Table II's read/write columns are headed "Memory": they count the traffic
+// the memory subsystem sees. The D$ hit rates determine how many
+// instruction-stream references each memory-level reference stands for,
+// which the generators fold into ComputeCycles.
+type Ref struct {
+	Access trace.Access
+	// L1Hit marks references that stay in the D$ (used by the
+	// instruction-level STREAM generator; the Table II generators emit
+	// memory-level refs, so it is false there).
+	L1Hit bool
+	// ComputeCycles is the pipeline work preceding this reference (the
+	// instructions the D$ absorbed).
+	ComputeCycles int
+}
+
+// Generator produces a finite reference stream for one thread.
+type Generator interface {
+	// Name identifies the workload.
+	Name() string
+	// Next returns the next reference; ok is false once the stream ends.
+	Next() (r Ref, ok bool)
+	// Remaining reports how many references are left.
+	Remaining() uint64
+}
+
+// ComputePerMemOp is the minimum pipeline work per memory-level reference.
+const ComputePerMemOp = 3
+
+// maxComputeCycles caps the compute gap so extremely cache-friendly
+// workloads (AES at 99.5% hits) stay finite; it corresponds to the point
+// where the workload is simply compute-bound.
+const maxComputeCycles = 48
+
+// GapCycles derives the compute gap per memory-level reference from the
+// spec's D$ hit rates: a mix-weighted hit rate h means each miss stands for
+// 1/(1-h) instruction-stream references.
+func GapCycles(s Spec) int {
+	total := s.Reads + s.Writes
+	if total <= 0 {
+		return ComputePerMemOp
+	}
+	h := (s.Reads*s.DReadHit + s.Writes*s.DWriteHit) / total
+	if h >= 1 {
+		return maxComputeCycles
+	}
+	perMiss := 1.0 / (1.0 - h)
+	g := int(1.2 * perMiss)
+	if g < ComputePerMemOp {
+		g = ComputePerMemOp
+	}
+	if g > maxComputeCycles {
+		g = maxComputeCycles
+	}
+	return g
+}
+
+// recentRing remembers recently written lines so read misses can target
+// them — the read-after-write behaviour of Figure 16. Picks are biased
+// toward the newest entries (concurrent readers chase fresh writes).
+type recentRing struct {
+	buf  []uint64
+	next int
+	full bool
+}
+
+func newRecentRing(n int) *recentRing { return &recentRing{buf: make([]uint64, n)} }
+
+func (r *recentRing) push(line uint64) {
+	r.buf[r.next] = line
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *recentRing) size() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// pick returns a recently written line, favouring the newest eight.
+func (r *recentRing) pick(rng *sim.RNG) (uint64, bool) {
+	n := r.size()
+	if n == 0 {
+		return 0, false
+	}
+	span := n
+	if span > 8 && rng.Bool(0.7) {
+		span = 8
+	}
+	back := rng.Intn(span) + 1
+	idx := r.next - back
+	for idx < 0 {
+		idx += len(r.buf)
+	}
+	return r.buf[idx], true
+}
+
+// Synthetic is the Table II-driven memory-level trace generator.
+type Synthetic struct {
+	spec Spec
+	rng  *sim.RNG
+
+	readsLeft  uint64
+	writesLeft uint64
+	gap        int
+
+	recent *recentRing
+
+	readCursor  uint64
+	writeCursor uint64
+
+	footLines uint64
+	stats     trace.Stats
+}
+
+// NewSynthetic builds a generator that emits sampleOps memory-level
+// references whose read/write mix matches the spec. Deterministic per seed.
+func NewSynthetic(spec Spec, sampleOps uint64, seed uint64) *Synthetic {
+	total := spec.Reads + spec.Writes
+	if total <= 0 {
+		total = 1
+	}
+	reads := uint64(float64(sampleOps) * spec.Reads / total)
+	writes := sampleOps - reads
+	rng := sim.NewRNG(seed ^ hashName(spec.Name))
+	g := &Synthetic{
+		spec:       spec,
+		rng:        rng,
+		readsLeft:  reads,
+		writesLeft: writes,
+		gap:        GapCycles(spec),
+		recent:     newRecentRing(256),
+		footLines:  spec.FootprintBytes / trace.CacheLineSize,
+	}
+	if g.footLines == 0 {
+		g.footLines = 1 << 20
+	}
+	g.readCursor = rng.Uint64n(g.footLines)
+	g.writeCursor = rng.Uint64n(g.footLines)
+	return g
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Name reports the workload name.
+func (g *Synthetic) Name() string { return g.spec.Name }
+
+// Remaining reports how many references are left.
+func (g *Synthetic) Remaining() uint64 { return g.readsLeft + g.writesLeft }
+
+// Stats exposes the emitted-traffic characterization.
+func (g *Synthetic) Stats() trace.Stats { return g.stats }
+
+const pageLines = 64 // 4 KB of 64 B lines
+
+// nextLine picks the target line.
+func (g *Synthetic) nextLine(isRead bool) uint64 {
+	if isRead {
+		if g.rng.Bool(g.spec.RAWFrac) {
+			if line, ok := g.recent.pick(g.rng); ok {
+				return line
+			}
+		}
+		if g.rng.Bool(0.5) {
+			g.readCursor = (g.readCursor + 1) % g.footLines
+			return g.readCursor
+		}
+		return g.rng.Uint64n(g.footLines)
+	}
+	if g.rng.Bool(g.spec.WriteStreamFrac) {
+		page := g.writeCursor / pageLines
+		g.writeCursor = page*pageLines + (g.writeCursor+1)%pageLines
+		return g.writeCursor
+	}
+	g.writeCursor = g.rng.Uint64n(g.footLines)
+	return g.writeCursor
+}
+
+// Next emits one memory-level reference.
+func (g *Synthetic) Next() (Ref, bool) {
+	total := g.readsLeft + g.writesLeft
+	if total == 0 {
+		return Ref{}, false
+	}
+	isRead := g.rng.Uint64n(total) < g.readsLeft
+	ref := Ref{ComputeCycles: g.gap}
+	if isRead {
+		g.readsLeft--
+		g.stats.Reads++
+		line := g.nextLine(true)
+		ref.Access = trace.Access{Op: trace.OpRead, Addr: line * trace.CacheLineSize, Size: trace.CacheLineSize}
+		return ref, true
+	}
+	g.writesLeft--
+	g.stats.Writes++
+	line := g.nextLine(false)
+	g.recent.push(line)
+	ref.Access = trace.Access{Op: trace.OpWrite, Addr: line * trace.CacheLineSize, Size: trace.CacheLineSize}
+	return ref, true
+}
+
+// Background generates the ambient kernel-thread traffic every measurement
+// runs on top of ("all the workloads are executed upon our system already
+// running tens of kernel threads", Section VI): read-mostly references with
+// light intensity spread over a modest footprint.
+type Background struct {
+	rng   *sim.RNG
+	left  uint64
+	foot  uint64
+	stats trace.Stats
+}
+
+// NewBackground builds a kernel-thread traffic source emitting sampleOps
+// references.
+func NewBackground(sampleOps uint64, seed uint64) *Background {
+	return &Background{
+		rng:  sim.NewRNG(seed ^ 0xBEEFBEEF),
+		left: sampleOps,
+		foot: (64 << 20) / trace.CacheLineSize,
+	}
+}
+
+// Name identifies the source.
+func (b *Background) Name() string { return "kernel-threads" }
+
+// Remaining reports outstanding references.
+func (b *Background) Remaining() uint64 { return b.left }
+
+// Stats exposes traffic counters.
+func (b *Background) Stats() trace.Stats { return b.stats }
+
+// Next emits one reference: 85% reads, sparse in time (kernel threads are
+// mostly idle).
+func (b *Background) Next() (Ref, bool) {
+	if b.left == 0 {
+		return Ref{}, false
+	}
+	b.left--
+	ref := Ref{ComputeCycles: 80} // sparse: mostly idle housekeeping
+	line := b.rng.Uint64n(b.foot)
+	if b.rng.Bool(0.85) {
+		b.stats.Reads++
+		ref.Access = trace.Access{Op: trace.OpRead, Addr: line * trace.CacheLineSize, Size: trace.CacheLineSize}
+	} else {
+		b.stats.Writes++
+		ref.Access = trace.Access{Op: trace.OpWrite, Addr: line * trace.CacheLineSize, Size: trace.CacheLineSize}
+	}
+	return ref, true
+}

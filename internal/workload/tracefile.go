@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// Trace files let users capture a generator's reference stream once and
+// replay it deterministically (regression baselines, cross-tool exchange).
+// Format: a 16-byte header (magic, version, count) followed by fixed-size
+// little-endian records.
+
+const (
+	traceMagic   = 0x4C504354 // "LPCT"
+	traceVersion = 1
+)
+
+// ErrBadTrace marks a malformed trace file.
+var ErrBadTrace = errors.New("workload: malformed trace file")
+
+type traceHeader struct {
+	Magic   uint32
+	Version uint32
+	Count   uint64
+}
+
+type traceRecord struct {
+	Addr    uint64
+	Compute uint16
+	Op      uint8
+	L1Hit   uint8
+}
+
+// WriteTrace drains the generator into w. It returns the number of
+// references written.
+func WriteTrace(w io.Writer, g Generator) (uint64, error) {
+	bw := bufio.NewWriter(w)
+	// Header with a placeholder count requires buffering everything or a
+	// seekable writer; instead stream records after an exact count from
+	// Remaining().
+	hdr := traceHeader{Magic: traceMagic, Version: traceVersion, Count: g.Remaining()}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return 0, err
+	}
+	var n uint64
+	for {
+		r, ok := g.Next()
+		if !ok {
+			break
+		}
+		rec := traceRecord{
+			Addr:    r.Access.Addr,
+			Compute: clamp16(r.ComputeCycles),
+			Op:      uint8(r.Access.Op),
+		}
+		if r.L1Hit {
+			rec.L1Hit = 1
+		}
+		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if n != hdr.Count {
+		return n, fmt.Errorf("workload: generator emitted %d refs, declared %d", n, hdr.Count)
+	}
+	return n, bw.Flush()
+}
+
+func clamp16(v int) uint16 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xFFFF {
+		return 0xFFFF
+	}
+	return uint16(v)
+}
+
+// Replay is a Generator that reads a recorded trace.
+type Replay struct {
+	name string
+	r    *bufio.Reader
+	left uint64
+	err  error
+}
+
+// NewReplay opens a trace stream. The header is validated eagerly.
+func NewReplay(name string, r io.Reader) (*Replay, error) {
+	br := bufio.NewReader(r)
+	var hdr traceHeader
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if hdr.Magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadTrace, hdr.Magic)
+	}
+	if hdr.Version != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, hdr.Version)
+	}
+	return &Replay{name: name, r: br, left: hdr.Count}, nil
+}
+
+// Name identifies the replayed workload.
+func (rp *Replay) Name() string { return "replay:" + rp.name }
+
+// Remaining reports outstanding references.
+func (rp *Replay) Remaining() uint64 { return rp.left }
+
+// Err reports a decode error encountered mid-stream (Next returns ok=false
+// on error; callers distinguish exhaustion from corruption here).
+func (rp *Replay) Err() error { return rp.err }
+
+// Next decodes one reference.
+func (rp *Replay) Next() (Ref, bool) {
+	if rp.left == 0 || rp.err != nil {
+		return Ref{}, false
+	}
+	var rec traceRecord
+	if err := binary.Read(rp.r, binary.LittleEndian, &rec); err != nil {
+		rp.err = fmt.Errorf("%w: %v", ErrBadTrace, err)
+		rp.left = 0
+		return Ref{}, false
+	}
+	rp.left--
+	return Ref{
+		Access: trace.Access{
+			Op:   trace.Op(rec.Op),
+			Addr: rec.Addr,
+			Size: trace.CacheLineSize,
+		},
+		L1Hit:         rec.L1Hit != 0,
+		ComputeCycles: int(rec.Compute),
+	}, true
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRecordReplayRoundTrip(t *testing.T) {
+	s, _ := ByName("mcf")
+	var buf bytes.Buffer
+	n, err := WriteTrace(&buf, NewSynthetic(s, 5000, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5000 {
+		t.Fatalf("wrote %d records", n)
+	}
+
+	rp, err := NewReplay("mcf", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "replay:mcf" {
+		t.Fatal("name wrong")
+	}
+	// The replay must match a fresh same-seed generator exactly.
+	ref := NewSynthetic(s, 5000, 42)
+	count := 0
+	for {
+		got, ok1 := rp.Next()
+		want, ok2 := ref.Next()
+		if ok1 != ok2 {
+			t.Fatalf("length mismatch at %d", count)
+		}
+		if !ok1 {
+			break
+		}
+		if got != want {
+			t.Fatalf("record %d: %+v != %+v", count, got, want)
+		}
+		count++
+	}
+	if rp.Err() != nil {
+		t.Fatal(rp.Err())
+	}
+}
+
+func TestReplayStreamWorks(t *testing.T) {
+	// A replayed trace can drive the STREAM generator's hit flags too.
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, NewStream(Copy, 64)); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplay("stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for {
+		r, ok := rp.Next()
+		if !ok {
+			break
+		}
+		if r.L1Hit {
+			hits++
+		}
+	}
+	if hits != 112 { // 128 refs - 16 misses
+		t.Fatalf("hits = %d", hits)
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	if _, err := NewReplay("x", bytes.NewReader([]byte("not a trace"))); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v", err)
+	}
+	// Bad magic.
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 16))
+	if _, err := NewReplay("x", &buf); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReplayTruncatedStream(t *testing.T) {
+	s, _ := ByName("AES")
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, NewSynthetic(s, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	rp, err := NewReplay("cut", bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := rp.Next(); !ok {
+			break
+		}
+	}
+	if rp.Err() == nil {
+		t.Fatal("truncation not surfaced")
+	}
+}
+
+func TestClamp16(t *testing.T) {
+	if clamp16(-1) != 0 || clamp16(70000) != 0xFFFF || clamp16(42) != 42 {
+		t.Fatal("clamp16 broken")
+	}
+}
+
+// Property: round-tripping any workload sample through a trace file is
+// lossless.
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := uint64(nRaw%500) + 1
+		s, _ := ByName("Redis")
+		var buf bytes.Buffer
+		if _, err := WriteTrace(&buf, NewSynthetic(s, n, seed)); err != nil {
+			return false
+		}
+		rp, err := NewReplay("p", &buf)
+		if err != nil {
+			return false
+		}
+		ref := NewSynthetic(s, n, seed)
+		for {
+			got, ok1 := rp.Next()
+			want, ok2 := ref.Next()
+			if ok1 != ok2 {
+				return false
+			}
+			if !ok1 {
+				return rp.Err() == nil
+			}
+			if got != want {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

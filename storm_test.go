@@ -1,0 +1,110 @@
+package lightpc_test
+
+// Power-failure storm tests: LightPC's headline guarantee is that an
+// EP-cut commits inside *every* hold-up window, so — unlike WSP with its
+// ultracapacitor recharge — arbitrarily frequent consecutive power
+// failures never lose state (Section VII).
+
+import (
+	"testing"
+	"testing/quick"
+
+	lightpc "repro"
+	"repro/internal/kernel"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// cycleOnce runs work, pulls the power, recovers, and reports whether the
+// recovery was exact.
+func cycleOnce(t *testing.T, p *lightpc.Platform, psu power.PSU) {
+	t.Helper()
+	k := p.Kernel()
+	k.Tick(7)
+	before := k.ProcsChecksum()
+	stop := p.PowerFail(0, psu)
+	if !stop.Completed {
+		t.Fatalf("Stop missed the %v window", psu.SpecHoldUp)
+	}
+	if _, err := p.Recover(0); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	for _, pr := range k.Procs {
+		if pr.State == kernel.TaskRunnable || pr.State == kernel.TaskRunning {
+			pr.RestoreContext()
+		}
+	}
+	if k.ProcsChecksum() != before {
+		t.Fatal("state diverged across the power cycle")
+	}
+}
+
+func TestPowerFailureStorm(t *testing.T) {
+	p := lightpc.New(lightpc.DefaultConfig(lightpc.LightPCFull))
+	for cycle := 0; cycle < 25; cycle++ {
+		cycleOnce(t, p, power.ATX())
+	}
+}
+
+func TestStormAlternatingPSUs(t *testing.T) {
+	p := lightpc.New(lightpc.DefaultConfig(lightpc.LightPCFull))
+	psus := []power.PSU{power.ATX(), power.Server()}
+	for cycle := 0; cycle < 10; cycle++ {
+		cycleOnce(t, p, psus[cycle%2])
+	}
+}
+
+// Property: any interleaving of work bursts and power cycles preserves
+// process state, and the system stays schedulable throughout.
+func TestStormProperty(t *testing.T) {
+	f := func(seed uint64, bursts []uint8) bool {
+		cfg := lightpc.DefaultConfig(lightpc.LightPCFull)
+		cfg.Seed = seed%97 + 1
+		p := lightpc.New(cfg)
+		k := p.Kernel()
+		for _, b := range bursts {
+			k.Tick(int(b%16) + 1)
+			if b%3 == 0 {
+				before := k.ProcsChecksum()
+				if rep := p.PowerFail(0, power.ATX()); !rep.Completed {
+					return false
+				}
+				if _, err := p.Recover(0); err != nil {
+					return false
+				}
+				for _, pr := range k.Procs {
+					if pr.State == kernel.TaskRunnable || pr.State == kernel.TaskRunning {
+						pr.RestoreContext()
+					}
+				}
+				if k.ProcsChecksum() != before {
+					return false
+				}
+				k.ScheduleAll()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStormWithTornMiddle(t *testing.T) {
+	// A torn Stop mid-storm cold-boots; subsequent cycles work again.
+	p := lightpc.New(lightpc.DefaultConfig(lightpc.LightPCFull))
+	cycleOnce(t, p, power.ATX())
+
+	// Hopeless window: torn.
+	tiny := power.PSU{Name: "tiny", StoredJ: 0.0001, SpecHoldUp: 100 * sim.Microsecond}
+	if rep := p.PowerFail(0, tiny); rep.Completed {
+		t.Fatal("Stop cannot fit 100 µs")
+	}
+	if _, err := p.Recover(0); err == nil {
+		t.Fatal("torn stop must not recover")
+	}
+	p.ColdBoot()
+
+	// Life goes on.
+	cycleOnce(t, p, power.ATX())
+}
