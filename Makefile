@@ -1,0 +1,36 @@
+GO ?= go
+BIN := bin
+LINT := $(BIN)/lightpc-lint
+
+.PHONY: all build test race vet lint bench ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lightpc-lint: the repo's own go/analysis suite (nodeterminism,
+# epcutorder, maporder, simtime) run through go vet's -vettool hook.
+$(LINT): FORCE
+	$(GO) build -o $(LINT) ./cmd/lightpc-lint
+FORCE:
+
+lint: $(LINT)
+	$(GO) vet -vettool=$(CURDIR)/$(LINT) ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci: build vet lint test race
+
+clean:
+	rm -rf $(BIN)

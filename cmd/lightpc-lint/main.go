@@ -1,0 +1,41 @@
+// Command lightpc-lint is the repository's static-analysis suite, run as a
+// go vet tool:
+//
+//	go build -o bin/lightpc-lint ./cmd/lightpc-lint
+//	go vet -vettool=$(pwd)/bin/lightpc-lint ./...
+//
+// (or simply `make lint`). It bundles four analyzers that enforce, at vet
+// time, the invariants the reproduction otherwise only checks dynamically:
+//
+//	nodeterminism  no wall-clock time or ambient randomness in internal/;
+//	               stochastic and temporal behavior flows through sim.RNG
+//	               and sim.Time (determinism_test.go's property, statically)
+//	epcutorder     in internal/sng and internal/checkpoint, the EP-cut
+//	               commit is dominated by flush/sync, nothing persistent
+//	               moves after the commit, and spend() deadlines are checked
+//	maporder       no golden output or simulated timing may depend on Go's
+//	               randomized map iteration order
+//	simtime        stdlib time.Duration (nanoseconds) never mixes with
+//	               sim.Duration/sim.Time (picoseconds)
+//
+// Findings can be suppressed in place with a reasoned directive:
+//
+//	expr //lint:allow <analyzer> <why this exception is sound>
+package main
+
+import (
+	"repro/internal/lint/epcutorder"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/nodeterminism"
+	"repro/internal/lint/simtime"
+	"repro/internal/lint/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		nodeterminism.Analyzer,
+		epcutorder.Analyzer,
+		maporder.Analyzer,
+		simtime.Analyzer,
+	)
+}

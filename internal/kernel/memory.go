@@ -69,24 +69,30 @@ func (b *Bank) Checksum() uint64 {
 // the bulk transfer SysPC performs when hibernating DRAM contents into
 // OC-PMEM.
 func (b *Bank) CopyTo(dst *Bank, offset uint64) int {
-	n := 0
-	for a, v := range b.words {
-		dst.Write(offset+a, v)
-		n++
+	addrs := make([]uint64, 0, len(b.words))
+	for a := range b.words {
+		addrs = append(addrs, a)
 	}
-	return n
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		dst.Write(offset+a, b.words[a])
+	}
+	return len(addrs)
 }
 
 // RestoreFrom loads every word stored under offset in src back into b,
 // removing the staged copy from src.
 func (b *Bank) RestoreFrom(src *Bank, offset uint64) int {
-	n := 0
-	for a, v := range src.words {
+	addrs := make([]uint64, 0, len(src.words))
+	for a := range src.words {
 		if a >= offset {
-			b.Write(a-offset, v)
-			delete(src.words, a)
-			n++
+			addrs = append(addrs, a)
 		}
 	}
-	return n
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		b.Write(a-offset, src.words[a])
+		delete(src.words, a)
+	}
+	return len(addrs)
 }

@@ -1,0 +1,124 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: an Analyzer owns a Run function that
+// inspects one type-checked package through a Pass and reports Diagnostics.
+//
+// The repository builds offline with the baked-in toolchain only, so it
+// cannot vendor x/tools; this package keeps the same shape (Analyzer, Pass,
+// Reportf) so the lightpc-lint analyzers can migrate to the real framework
+// by swapping an import path if the dependency ever becomes available.
+//
+// On top of the x/tools subset it adds the repository's suppression
+// directive:
+//
+//	//lint:allow <analyzer>[,<analyzer>...] [reason]
+//
+// which silences the named analyzers on the directive's line and on the
+// line directly below it (so the directive can ride at the end of the
+// offending line or stand alone above it).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph help text.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Pass carries one type-checked package through an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. Analyzers whose
+// invariants cover only shipped simulation code use it to skip tests.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// allowPrefix introduces a suppression directive comment.
+const allowPrefix = "lint:allow"
+
+// FilterAllowed drops the diagnostics suppressed by //lint:allow directives
+// naming the analyzer. A directive applies to its own line and to the line
+// immediately below it.
+func FilterAllowed(fset *token.FileSet, files []*ast.File, analyzer string, diags []Diagnostic) []Diagnostic {
+	// allowed maps filename -> set of lines where the analyzer is allowed.
+	allowed := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				match := false
+				for _, name := range strings.Split(fields[0], ",") {
+					if name == analyzer {
+						match = true
+					}
+				}
+				if !match {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				lines := allowed[posn.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					allowed[posn.Filename] = lines
+				}
+				lines[posn.Line] = true
+				lines[posn.Line+1] = true
+			}
+		}
+	}
+	if len(allowed) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		if allowed[posn.Filename][posn.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,21 @@
+package analysis
+
+import "strings"
+
+// InternalPackage reports whether the import path lies in an internal/
+// subtree — the simulation core, where the determinism analyzers apply.
+// cmd/ and examples/ front-ends stay out of scope: they may legitimately
+// touch the host environment.
+func InternalPackage(path string) bool {
+	return path == "internal" ||
+		strings.HasPrefix(path, "internal/") ||
+		strings.HasSuffix(path, "/internal") ||
+		strings.Contains(path, "/internal/")
+}
+
+// SimPackage reports whether the import path is the simulation-substrate
+// package itself (repro/internal/sim, or a fixture stub named sim), which
+// owns the sim.Time/sim.Duration boundary.
+func SimPackage(path string) bool {
+	return path == "sim" || strings.HasSuffix(path, "/sim")
+}

@@ -1,0 +1,381 @@
+// Package epcutorder statically enforces the EP-cut commit protocol in
+// internal/sng and internal/checkpoint.
+//
+// The paper's crash-consistency argument (DESIGN.md "EP-cut soundness",
+// internal/sng/sng.go) rests on one store ordering: every dirty cache line
+// and row buffer is flushed and memory is synchronized *before* the commit
+// word is written, and nothing touches persistent state *after* the
+// commit. A reordering bug here is invisible to tests unless a power
+// failure lands in the reordered window — exactly the class of persistent
+// memory bug that survives testing. Three rules, applied per function:
+//
+//  1. A call to a method named Commit must be dominated by a flush event:
+//     a call whose callee name, or an identifier in its arguments,
+//     mentions flush/sync (s.P.Flush(...), run.spend(flush),
+//     run.spend(sync), memSync(), ...). Dominance is structural: the
+//     flush must execute on every path that reaches the commit, so a
+//     flush inside a loop body or a non-enclosing branch does not count.
+//
+//  2. After a Commit call, the function must not mutate persistent state:
+//     no calls to Write/SaveCoreRegisters/SetMEPC/SaveWearMeta and no
+//     assignment to the saved kernel fields (PersistFlag, KTaskPtr,
+//     KStackPtr, DirtyLines, MRegs). The commit word is the EP-cut: it
+//     must be the last persistent store of Stop.
+//
+//  3. The deadline guard spend(...) returns false once the PSU hold-up
+//     window has expired; discarding that result silently keeps mutating
+//     state after the rails dropped. Its result must be consumed (or
+//     explicitly discarded with `_ =` when provably timing-only).
+//
+// Escape hatch, for code the rules misread:
+//
+//	b.Commit() //lint:allow epcutorder commit word lives in an uncached bank
+package epcutorder
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the epcutorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "epcutorder",
+	Doc:  "enforce flush-before-commit, no persistent mutation after commit, and checked spend() deadlines in sng/checkpoint",
+	Run:  run,
+}
+
+// persistFields are the kernel fields captured by the EP-cut; storing to
+// one after the commit tears the cut.
+var persistFields = map[string]bool{
+	"PersistFlag": true,
+	"KTaskPtr":    true,
+	"KStackPtr":   true,
+	"DirtyLines":  true,
+	"MRegs":       true,
+}
+
+// persistWriters are the methods that store into persistent banks/BCB.
+var persistWriters = map[string]bool{
+	"Write":             true,
+	"SaveCoreRegisters": true,
+	"SetMEPC":           true,
+	"SaveWearMeta":      true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if !inScope(path) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+func inScope(path string) bool {
+	return path == "sng" || strings.HasSuffix(path, "/sng") ||
+		path == "checkpoint" || strings.HasSuffix(path, "/checkpoint")
+}
+
+type eventKind int
+
+const (
+	evFlush eventKind = iota
+	evCommit
+	evMutate
+	evUncheckedSpend
+)
+
+// guard identifies one branch of one control-flow statement. An event's
+// guard chain is the set of branches that must be taken to reach it.
+type guard struct {
+	node   ast.Node
+	branch int
+}
+
+type event struct {
+	kind   eventKind
+	pos    token.Pos
+	desc   string
+	guards []guard
+}
+
+type collector struct {
+	pass   *analysis.Pass
+	events []event
+}
+
+// checkFunc gathers the function's events and applies the three rules.
+// Function literals are independent protocol scopes and recurse.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	c := &collector{pass: pass}
+	c.stmt(body, nil)
+
+	var commits []event
+	for _, e := range c.events {
+		if e.kind == evCommit {
+			commits = append(commits, e)
+		}
+	}
+	for _, commit := range commits {
+		dominated := false
+		for _, e := range c.events {
+			if e.kind == evFlush && e.pos < commit.pos && subset(e.guards, commit.guards) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			c.pass.Reportf(commit.pos, "EP-cut ordering: %s is not dominated by a cache/row-buffer flush or memory sync; the commit word must be the last store after a full flush", commit.desc)
+		}
+	}
+	for _, e := range c.events {
+		switch e.kind {
+		case evMutate:
+			for _, commit := range commits {
+				if commit.pos < e.pos {
+					c.pass.Reportf(e.pos, "persistent state (%s) mutated after the EP-cut commit; the commit word must be the final persistent store", e.desc)
+					break
+				}
+			}
+		case evUncheckedSpend:
+			c.pass.Reportf(e.pos, "result of %s discarded: spend reports whether the PSU hold-up deadline still holds, and ignoring it mutates state after the rails dropped", e.desc)
+		}
+	}
+}
+
+// subset reports whether every guard of a is also a guard of b — i.e. a
+// executes on every path that reaches b (for source positions a < b).
+func subset(a, b []guard) bool {
+	for _, ga := range a {
+		found := false
+		for _, gb := range b {
+			if ga == gb {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// stmt walks a statement attributing events to guard chains. Conditions
+// and range expressions evaluate before their branches are entered, so
+// they carry the parent's guards; bodies push a fresh guard.
+func (c *collector) stmt(s ast.Stmt, guards []guard) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			c.stmt(sub, guards)
+		}
+	case *ast.IfStmt:
+		c.stmt(s.Init, guards)
+		c.expr(s.Cond, guards, false)
+		c.stmt(s.Body, append(guards[:len(guards):len(guards)], guard{s, 0}))
+		c.stmt(s.Else, append(guards[:len(guards):len(guards)], guard{s, 1}))
+	case *ast.ForStmt:
+		c.stmt(s.Init, guards)
+		c.expr(s.Cond, guards, false)
+		inner := append(guards[:len(guards):len(guards)], guard{s, 0})
+		c.stmt(s.Post, inner)
+		c.stmt(s.Body, inner)
+	case *ast.RangeStmt:
+		c.expr(s.X, guards, false)
+		c.stmt(s.Body, append(guards[:len(guards):len(guards)], guard{s, 0}))
+	case *ast.SwitchStmt:
+		c.stmt(s.Init, guards)
+		c.expr(s.Tag, guards, false)
+		for i, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				inner := append(guards[:len(guards):len(guards)], guard{s, i})
+				for _, sub := range cc.Body {
+					c.stmt(sub, inner)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init, guards)
+		c.stmt(s.Assign, guards)
+		for i, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				inner := append(guards[:len(guards):len(guards)], guard{s, i})
+				for _, sub := range cc.Body {
+					c.stmt(sub, inner)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for i, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				inner := append(guards[:len(guards):len(guards)], guard{s, i})
+				c.stmt(cc.Comm, inner)
+				for _, sub := range cc.Body {
+					c.stmt(sub, inner)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, guards)
+	case *ast.ExprStmt:
+		// A spend(...) whose entire statement is the call discards the
+		// deadline result.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name := calleeName(call); name == "spend" || name == "Spend" {
+				c.events = append(c.events, event{evUncheckedSpend, call.Pos(), renderCallee(call), append([]guard(nil), guards...)})
+			}
+		}
+		c.expr(s.X, guards, false)
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			c.mutation(lhs, guards)
+		}
+		for _, rhs := range s.Rhs {
+			c.expr(rhs, guards, false)
+		}
+	case *ast.IncDecStmt:
+		c.mutation(s.X, guards)
+	case *ast.DeferStmt:
+		c.expr(s.Call, guards, false)
+	case *ast.GoStmt:
+		c.expr(s.Call, guards, false)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r, guards, false)
+		}
+	case *ast.SendStmt:
+		c.expr(s.Chan, guards, false)
+		c.expr(s.Value, guards, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, guards, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr records call events inside an expression. Function literals open an
+// independent protocol scope.
+func (c *collector) expr(e ast.Expr, guards []guard, _ bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(c.pass, n.Body)
+			return false
+		case *ast.CallExpr:
+			c.call(n, guards)
+		}
+		return true
+	})
+}
+
+func (c *collector) call(call *ast.CallExpr, guards []guard) {
+	name := calleeName(call)
+	if name == "" {
+		return
+	}
+	owned := append([]guard(nil), guards...)
+	switch {
+	case name == "Commit":
+		c.events = append(c.events, event{evCommit, call.Pos(), renderCallee(call), owned})
+	case flushName(name) || argsMentionFlush(call):
+		c.events = append(c.events, event{evFlush, call.Pos(), renderCallee(call), owned})
+	case persistWriters[name]:
+		c.events = append(c.events, event{evMutate, call.Pos(), renderCallee(call), owned})
+	}
+}
+
+// mutation records an assignment target that stores into EP-cut state.
+func (c *collector) mutation(lhs ast.Expr, guards []guard) {
+	target := lhs
+	if idx, ok := target.(*ast.IndexExpr); ok {
+		target = idx.X
+	}
+	sel, ok := target.(*ast.SelectorExpr)
+	if !ok || !persistFields[sel.Sel.Name] {
+		return
+	}
+	c.events = append(c.events, event{evMutate, lhs.Pos(), render(sel), append([]guard(nil), guards...)})
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// flushName reports whether a callee name denotes a flush/sync barrier.
+func flushName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "flush") || strings.Contains(lower, "sync")
+}
+
+// argsMentionFlush reports whether any identifier in the call's arguments
+// names a flush/sync quantity — the run.spend(flush), run.spend(sync)
+// pattern where the charge for the barrier is spent on the deadline clock.
+func argsMentionFlush(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && flushName(id.Name) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// render prints a selector chain like k.Boot.Commit for diagnostics.
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := render(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func renderCallee(call *ast.CallExpr) string {
+	if s := render(call.Fun); s != "" {
+		return s + "()"
+	}
+	return "call"
+}

@@ -1,0 +1,13 @@
+package epcutorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/epcutorder"
+	"repro/internal/lint/linttest"
+)
+
+func TestEpcutorder(t *testing.T) {
+	linttest.Run(t, "testdata", epcutorder.Analyzer,
+		"sng", "checkpoint", "elsewhere")
+}

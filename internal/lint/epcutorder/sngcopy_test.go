@@ -1,0 +1,160 @@
+package epcutorder_test
+
+// This test is the acceptance check for the epcutorder analyzer: it runs
+// the analyzer over the real internal/sng/sng.go (must be clean), then
+// over a scratch copy in which the EP-cut commit has been reordered ahead
+// of the master's cache flush and memory sync (must fire). Type
+// information for the copy is rebuilt from the build cache's export data
+// via `go list -export`, so the test needs the go tool but no network.
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/epcutorder"
+)
+
+// exportData maps import paths to compiler export files for sng's deps.
+func exportData(t *testing.T) map[string]string {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not available")
+	}
+	cmd := exec.Command(goTool, "list", "-export", "-deps", "-json=ImportPath,Export", "repro/internal/sng")
+	cmd.Dir = ".."
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list -export: %v", err)
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports
+}
+
+// analyzeSnG typechecks src (a scratch copy of sng.go) together with the
+// rest of the real repro/internal/sng package and returns the epcutorder
+// diagnostics.
+func analyzeSnG(t *testing.T, exports map[string]string, src []byte) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "sng.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing scratch sng.go: %v", err)
+	}
+	files := []*ast.File{f}
+	sngDir := filepath.Join("..", "..", "sng")
+	names, err := os.ReadDir(sngDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		n := e.Name()
+		if n == "sng.go" || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		sib, err := parser.ParseFile(fset, filepath.Join(sngDir, n), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", n, err)
+		}
+		files = append(files, sib)
+	}
+
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		return os.Open(exports[path])
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{Importer: gc}
+	pkg, err := tc.Check("repro/internal/sng", fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking scratch sng.go: %v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  epcutorder.Analyzer,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := epcutorder.Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	return analysis.FilterAllowed(fset, files, epcutorder.Analyzer.Name, diags)
+}
+
+func TestRealSnGIsClean(t *testing.T) {
+	exports := exportData(t)
+	src, err := os.ReadFile(filepath.Join("..", "..", "sng", "sng.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range analyzeSnG(t, exports, src) {
+		t.Errorf("unexpected diagnostic on internal/sng/sng.go: %s", d.Message)
+	}
+}
+
+func TestReorderedSnGFires(t *testing.T) {
+	exports := exportData(t)
+	src, err := os.ReadFile(filepath.Join("..", "..", "sng", "sng.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reorder the EP-cut: write the commit word right after the master's
+	// register dump, before its cache flush and the memory sync.
+	const commit = "k.Boot.Commit()"
+	const registerDump = "k.Boot.SaveCoreRegisters(master)"
+	text := string(src)
+	if !strings.Contains(text, commit) || !strings.Contains(text, registerDump) {
+		t.Fatal("internal/sng/sng.go no longer matches the expected Stop shape; update this test")
+	}
+	text = strings.Replace(text, commit, "// commit reordered earlier (scratch mutation)", 1)
+	text = strings.Replace(text, registerDump, registerDump+"\n\t\t\t"+commit, 1)
+
+	diags := analyzeSnG(t, exports, []byte(text))
+	fired := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "not dominated by a cache/row-buffer flush") {
+			fired = true
+		}
+	}
+	if !fired {
+		var got []string
+		for _, d := range diags {
+			got = append(got, d.Message)
+		}
+		t.Fatalf("epcutorder did not flag the reordered commit; diagnostics: %v", got)
+	}
+}

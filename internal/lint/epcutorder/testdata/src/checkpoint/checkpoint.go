@@ -1,0 +1,36 @@
+// Package checkpoint mirrors repro/internal/checkpoint: region commits
+// must flush the pool before writing the commit word.
+package checkpoint
+
+type pool struct{}
+
+func (p *pool) Write(addr, v uint64) {}
+func (p *pool) Flush()               {}
+
+type region struct {
+	p    *pool
+	vars []*uint64
+}
+
+// Commit is the region's own commit-word writer; it contains no Commit
+// call, so the ordering rules do not constrain its body.
+func (r *region) Commit() {
+	for i, v := range r.vars {
+		r.p.Write(uint64(i), *v)
+	}
+	r.p.Flush()
+	r.p.Write(1<<40, 1)
+}
+
+// Good: flush before commit, nothing persistent after.
+func Good(r *region) int {
+	r.p.Flush()
+	r.Commit()
+	return len(r.vars)
+}
+
+// Bad: commit with no flush, then a pool write after the commit.
+func Bad(r *region) {
+	r.Commit()          // want `not dominated by a cache/row-buffer flush`
+	r.p.Write(1<<41, 2) // want `mutated after the EP-cut commit`
+}

@@ -1,0 +1,104 @@
+// Package sng mirrors the shape of repro/internal/sng for the epcutorder
+// fixtures: a bootloader with a Commit word, cores with dirty lines, and a
+// deadline-driven spend.
+package sng
+
+type bank struct{ words map[uint64]uint64 }
+
+func (b *bank) Write(addr, v uint64) {}
+
+type bootloader struct{ m *bank }
+
+func (b *bootloader) Commit()           {}
+func (b *bootloader) SetMEPC(pc uint64) {}
+
+type core struct {
+	DirtyLines int
+	Online     bool
+}
+
+type machine struct {
+	Boot        *bootloader
+	PersistFlag bool
+}
+
+type run struct{ dead bool }
+
+func (r *run) spend(d int64) bool { return !r.dead }
+
+func flushCaches() {}
+func memSync()     {}
+
+// GoodStop: flush and sync dominate the commit.
+func GoodStop(m *machine, r *run) {
+	flushCaches()
+	memSync()
+	if r.spend(3) {
+		m.Boot.Commit()
+	}
+}
+
+// GoodGuardedFlush: the flush charge is the condition guarding the commit,
+// so it executes on every path that reaches it.
+func GoodGuardedFlush(m *machine, r *run) {
+	var flush int64 = 4
+	if r.spend(flush) {
+		m.Boot.Commit()
+	}
+}
+
+// BadNoFlush commits without any flush at all.
+func BadNoFlush(m *machine) {
+	m.Boot.SetMEPC(0x80002000)
+	m.Boot.Commit() // want `not dominated by a cache/row-buffer flush`
+}
+
+// BadLoopFlush flushes only inside a loop body, which may run zero times:
+// that does not dominate the commit.
+func BadLoopFlush(m *machine, cores []*core, r *run) {
+	for _, c := range cores {
+		if !r.spend(int64(c.DirtyLines)) {
+			break
+		}
+		flushCaches()
+	}
+	m.Boot.Commit() // want `not dominated by a cache/row-buffer flush`
+}
+
+// BadBranchFlush flushes only on one branch not enclosing the commit.
+func BadBranchFlush(m *machine, havePSM bool) {
+	if havePSM {
+		flushCaches()
+	}
+	m.Boot.Commit() // want `not dominated by a cache/row-buffer flush`
+}
+
+// BadMutateAfterCommit stores into EP-cut state after the commit word.
+func BadMutateAfterCommit(m *machine, c *core) {
+	memSync()
+	m.Boot.Commit()
+	m.PersistFlag = false // want `persistent state \(m\.PersistFlag\) mutated after the EP-cut commit`
+	c.DirtyLines = 0      // want `persistent state \(c\.DirtyLines\) mutated after the EP-cut commit`
+	c.Online = false      // power marker, not EP-cut state: allowed
+}
+
+// BadWriteAfterCommit issues a persistent-bank write after the commit.
+func BadWriteAfterCommit(m *machine, b *bank) {
+	memSync()
+	m.Boot.Commit()
+	b.Write(64, 1) // want `persistent state \(b\.Write\(\)\) mutated after the EP-cut commit`
+}
+
+// BadUncheckedSpend discards the deadline result.
+func BadUncheckedSpend(r *run) {
+	r.spend(7)     // want `result of r\.spend\(\) discarded`
+	_ = r.spend(8) // explicit discard: acknowledged
+	if !r.spend(9) {
+		return
+	}
+}
+
+// AllowedCommit demonstrates the escape hatch.
+func AllowedCommit(m *machine) {
+	m.Boot.Commit() //lint:allow epcutorder commit word lives in an uncached bank
+}

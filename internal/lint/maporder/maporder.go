@@ -1,0 +1,273 @@
+// Package maporder flags map iteration whose body is order-sensitive.
+//
+// Go randomizes map iteration order on every range. That is harmless for
+// commutative bodies (counting, building another map, XOR folds) but fatal
+// for the two things this repository promises are stable: the golden
+// report tables under internal/experiments/testdata/*.golden, and the
+// bit-for-bit deterministic simulation timeline. A range over a map is
+// flagged when its body
+//
+//   - formats output (fmt.Sprintf & friends, Write* methods, report.Table
+//     calls), which lands host-random ordering in golden output; or
+//   - calls anything taking or returning sim.Time/sim.Duration, which
+//     makes the simulated timeline depend on host-random ordering; or
+//   - appends non-key material to a slice, freezing a random order into a
+//     data structure; or
+//   - collects the keys into a slice that the function never sorts.
+//
+// The fix is always the same: collect the keys, sort them, range over the
+// sorted slice. A genuinely order-independent body can be accepted with
+//
+//	for k := range m { //lint:allow maporder order-independent fold
+//
+// The check applies to non-test code in every package.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration that formats output, advances simulated time, or collects keys without sorting",
+	Run:  run,
+}
+
+// fmtFormatters are the fmt functions that render values into output.
+var fmtFormatters = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}
+
+// sorters are the sort/slices calls that establish a deterministic order.
+var sorters = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true, "Stable": true,
+	"Slice": true, "SliceStable": true, "Strings": true, "Ints": true, "Float64s": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkRange(pass, fd, rs)
+		return true
+	})
+}
+
+func checkRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	keyObj := rangeVar(pass, rs.Key)
+	valObj := rangeVar(pass, rs.Value)
+
+	var reason string   // first order-sensitive trigger found in the body
+	collecting := false // body appends the range variables to a slice
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch classify(pass, call, keyObj, valObj) {
+		case trigFormat:
+			reason = "formats output"
+		case trigWrite:
+			reason = "issues writes"
+		case trigReport:
+			reason = "builds a report table"
+		case trigSimTime:
+			reason = "advances simulated time"
+		case trigAppend:
+			reason = "appends non-key material to a slice"
+		case trigCollect:
+			collecting = true
+		}
+		return true
+	})
+
+	if reason != "" {
+		pass.Reportf(rs.Pos(), "range over map %s in host-random order; collect the keys, sort them, and range over the sorted slice (golden output and the simulated timeline must not depend on map order)", reason)
+		return
+	}
+	if collecting && !sortFollows(pass, fd, rs.End()) {
+		pass.Reportf(rs.Pos(), "map keys collected into a slice that is never sorted; sort before use or the order is host-random")
+	}
+}
+
+type trigger int
+
+const (
+	trigNone trigger = iota
+	trigFormat
+	trigWrite
+	trigReport
+	trigSimTime
+	trigAppend
+	trigCollect
+)
+
+func classify(pass *analysis.Pass, call *ast.CallExpr, keyObj, valObj types.Object) trigger {
+	// append(s, k) collecting only the range variables is the sanctioned
+	// collect-then-sort idiom; anything else appended freezes map order.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			for _, arg := range call.Args[1:] {
+				obj := identObj(pass, arg)
+				if obj == nil || (obj != keyObj && obj != valObj) {
+					return trigAppend
+				}
+			}
+			return trigCollect
+		}
+	}
+
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				if pkgName.Imported().Path() == "fmt" && fmtFormatters[name] {
+					return trigFormat
+				}
+			}
+		}
+		if len(name) >= 5 && name[:5] == "Write" {
+			return trigWrite
+		}
+		if recv := receiverPkgPath(pass, sel); recv != "" &&
+			(recv == "report" || len(recv) > 7 && recv[len(recv)-7:] == "/report") {
+			return trigReport
+		}
+	}
+
+	if sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature); ok && temporalSignature(sig) {
+		return trigSimTime
+	}
+	return trigNone
+}
+
+// rangeVar resolves a range key/value identifier to its object.
+func rangeVar(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// receiverPkgPath reports the package path of a method call's receiver
+// type, or "".
+func receiverPkgPath(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return ""
+	}
+	t := selection.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+// temporalSignature reports whether any parameter or result is a
+// sim.Time/sim.Duration — a call through which map order would reach the
+// simulated timeline.
+func temporalSignature(sig *types.Signature) bool {
+	check := func(tup *types.Tuple) bool {
+		for i := 0; i < tup.Len(); i++ {
+			t := tup.At(i).Type()
+			if s, ok := t.(*types.Slice); ok {
+				t = s.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				continue
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil {
+				continue
+			}
+			if (obj.Name() == "Time" || obj.Name() == "Duration") && analysis.SimPackage(obj.Pkg().Path()) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(sig.Params()) || check(sig.Results())
+}
+
+// sortFollows reports whether a sort.*/slices.Sort* call appears in the
+// function after pos.
+func sortFollows(pass *analysis.Pass, fd *ast.FuncDecl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pkgName.Imported().Path()
+		if (path == "sort" || path == "slices") && sorters[sel.Sel.Name] {
+			found = true
+		}
+		return true
+	})
+	return found
+}

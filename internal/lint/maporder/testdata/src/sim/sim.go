@@ -1,0 +1,8 @@
+// Package sim is a fixture stub of repro/internal/sim.
+package sim
+
+// Time is an absolute simulation timestamp in picoseconds.
+type Time int64
+
+// Duration is a span of simulated time in picoseconds.
+type Duration int64

@@ -1,0 +1,13 @@
+package nodeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/nodeterminism"
+)
+
+func TestNodeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", nodeterminism.Analyzer,
+		"internal/bad", "internal/good", "outside")
+}

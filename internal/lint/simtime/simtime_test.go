@@ -1,0 +1,13 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	linttest.Run(t, "testdata", simtime.Analyzer,
+		"internal/st", "internal/stgood", "app")
+}

@@ -1,0 +1,19 @@
+// Package app is outside internal/: holding wall-clock values is fine
+// here (CLI timeouts), but bridging them into sim units is still flagged.
+package app
+
+import (
+	"time"
+
+	"sim"
+)
+
+var pollEvery = 30 * time.Second // fine outside the simulation tree
+
+func Bad(d time.Duration) sim.Duration {
+	return sim.Duration(d) // want `converting time\.Duration to sim\.Duration mixes wall-clock`
+}
+
+func Allowed(d time.Duration) sim.Duration {
+	return sim.Duration(d.Nanoseconds()) * sim.Nanosecond // explicit unit bridge: no raw conversion
+}

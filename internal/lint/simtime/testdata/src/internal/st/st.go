@@ -1,0 +1,26 @@
+// Package st exercises every simtime trigger inside the internal/ scope.
+package st
+
+import (
+	"time"
+
+	"sim"
+)
+
+var deadline time.Duration // want `stdlib time\.Duration in simulation code`
+
+func Bridge(d time.Duration) sim.Duration { // want `stdlib time\.Duration in simulation code`
+	return sim.Duration(d) // want `converting time\.Duration to sim\.Duration mixes wall-clock`
+}
+
+func BridgeBack(d sim.Duration) time.Duration { // want `stdlib time\.Duration in simulation code`
+	return time.Duration(d) // want `converting sim\.Duration to time\.Duration mixes wall-clock`
+}
+
+func Granularity() sim.Duration {
+	return sim.Duration(3 * time.Millisecond) // want `converting time\.Duration to sim\.Duration mixes wall-clock` `stdlib duration constant time\.Millisecond`
+}
+
+func Stamp(t time.Time) sim.Time { // want `stdlib time\.Time in simulation code`
+	return sim.Time(t.UnixNano()) // nanoseconds as picoseconds: wrong, but an int64 conversion the type system can't see
+}

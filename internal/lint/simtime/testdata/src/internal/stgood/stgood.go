@@ -1,0 +1,16 @@
+// Package stgood must produce no simtime diagnostics: simulation code
+// expressed purely in sim units.
+package stgood
+
+import "sim"
+
+const serviceLatency = 12 * sim.Nanosecond
+
+func Deadline(now sim.Time, holdUp sim.Duration) sim.Time {
+	return now.Add(holdUp + serviceLatency)
+}
+
+// Escape hatch: a sanctioned bridge at a real wall-clock boundary.
+func FromNanos(ns int64) sim.Duration {
+	return sim.Duration(ns) * sim.Nanosecond
+}

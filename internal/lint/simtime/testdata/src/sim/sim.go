@@ -1,0 +1,19 @@
+// Package sim is a fixture stub of repro/internal/sim: the analyzer
+// recognizes the temporal types by name and package-path suffix.
+package sim
+
+// Time is an absolute simulation timestamp in picoseconds.
+type Time int64
+
+// Duration is a span of simulated time in picoseconds.
+type Duration int64
+
+// Unit constants mirroring the real package.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Millisecond          = 1000 * 1000 * Nanosecond
+)
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }

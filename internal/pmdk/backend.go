@@ -12,6 +12,8 @@
 package pmdk
 
 import (
+	"sort"
+
 	"repro/internal/cache"
 	"repro/internal/sim"
 )
@@ -131,7 +133,12 @@ func (b *TxBackend) commit(now sim.Time) sim.Time {
 	}
 	b.lineFlushs += uint64(n)
 	at := now.Add(sim.Duration(n) * b.FlushPerLine)
+	lines := make([]uint64, 0, len(b.touched))
 	for line := range b.touched {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
 		at = b.Inner.Write(at, line*64)
 	}
 	at = at.Add(b.FenceCost)

@@ -3,6 +3,7 @@ package psm
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/ecc"
 	"repro/internal/sim"
@@ -171,12 +172,17 @@ func (ds *DataStore) ReadData(now sim.Time, line uint64) ([]byte, sim.Time, erro
 // device replacement. It returns the completion time.
 func (ds *DataStore) Scrub(now sim.Time) sim.Time {
 	t := now
-	for line, data := range ds.lines {
+	lines := make([]uint64, 0, len(ds.lines))
+	for line := range ds.lines {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
 		out, _, err := ds.ReadData(t, line)
 		if err != nil {
 			// Unrecoverable lines keep their stored content (the caller
 			// decided to scrub anyway); refresh the codes.
-			out = data
+			out = ds.lines[line]
 		}
 		t = ds.WriteData(t, line, out)
 	}
