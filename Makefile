@@ -2,7 +2,7 @@ GO ?= go
 BIN := bin
 LINT := $(BIN)/lightpc-lint
 
-.PHONY: all build test race vet lint bench ci clean
+.PHONY: all build test race vet lint bench bench-json fuzz-smoke ci clean
 
 all: build
 
@@ -10,7 +10,7 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -30,7 +30,20 @@ lint: $(LINT)
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: build vet lint test race
+# bench-json: snapshot every figure benchmark (one iteration each) plus the
+# parallel runner's measured speedup into BENCH_SEED.json.
+bench-json:
+	$(GO) run ./cmd/lightpc-benchseed -out BENCH_SEED.json
+
+# fuzz-smoke: a short native-fuzzing pass over each codec/parser target
+# (the checked-in corpora also replay as plain seeds in `make test`).
+fuzz-smoke:
+	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzRecordRoundTrip -fuzztime=2s
+	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzDecodeRecord -fuzztime=2s
+	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzReplayParse -fuzztime=2s
+	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=2s
+
+ci: build vet lint test race fuzz-smoke
 
 clean:
 	rm -rf $(BIN)

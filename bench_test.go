@@ -12,12 +12,44 @@ package lightpc_test
 // full-fidelity versions.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
 )
 
-func opts() experiments.Options { return experiments.QuickOptions() }
+// opts runs the benches through the parallel runner at GOMAXPROCS — the
+// same path cmd/lightpc-bench takes; output is identical at any -j.
+func opts() experiments.Options {
+	o := experiments.QuickOptions()
+	o.Jobs = runtime.GOMAXPROCS(0)
+	return o
+}
+
+// BenchmarkAllQuickSerial and BenchmarkAllQuickParallel run the entire
+// quick experiment suite at -j 1 and -j GOMAXPROCS; the ratio of their
+// ns/op is the runner's wall-clock speedup (recorded by `make bench-json`
+// into BENCH_SEED.json).
+func BenchmarkAllQuickSerial(b *testing.B) {
+	o := experiments.QuickOptions()
+	o.Jobs = 1
+	for i := 0; i < b.N; i++ {
+		if experiments.Render(experiments.RunAll(o)) == "" {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+func BenchmarkAllQuickParallel(b *testing.B) {
+	o := experiments.QuickOptions()
+	o.Jobs = runtime.GOMAXPROCS(0)
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	for i := 0; i < b.N; i++ {
+		if experiments.Render(experiments.RunAll(o)) == "" {
+			b.Fatal("empty output")
+		}
+	}
+}
 
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {

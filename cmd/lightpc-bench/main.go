@@ -8,6 +8,12 @@
 //	lightpc-bench -list           # list experiment ids
 //	lightpc-bench -quick          # trimmed sweeps (CI smoke)
 //	lightpc-bench -samples 200000 # more samples per workload run
+//	lightpc-bench -j 8            # run grid cells on 8 workers
+//	lightpc-bench -progress       # per-cell wall-clock progress on stderr
+//
+// The grid-shaped experiments decompose into independent cells executed
+// across -j workers (internal/runner); the tables are byte-for-byte
+// identical at any -j, including -j 1.
 package main
 
 import (
@@ -15,19 +21,53 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
 
+// progressReporter prints one line per finished cell with its wall-clock
+// time. Workers call the hooks concurrently.
+type progressReporter struct {
+	mu     sync.Mutex
+	starts map[string]time.Time
+	done   int
+}
+
+func newProgressReporter() *progressReporter {
+	return &progressReporter{starts: map[string]time.Time{}}
+}
+
+func (p *progressReporter) onStart(label string) {
+	p.mu.Lock()
+	p.starts[label] = time.Now()
+	p.mu.Unlock()
+}
+
+func (p *progressReporter) onDone(label string) {
+	p.mu.Lock()
+	elapsed := time.Since(p.starts[label])
+	delete(p.starts, label)
+	p.done++
+	n := p.done
+	p.mu.Unlock()
+	fmt.Fprintf(os.Stderr, "[%4d] %-40s %8.1fms\n",
+		n, label, float64(elapsed.Microseconds())/1000)
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		quick   = flag.Bool("quick", false, "use trimmed sweeps")
-		samples = flag.Uint64("samples", 0, "memory references sampled per run (0 = default)")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		format  = flag.String("format", "text", "output format: text | json")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "use trimmed sweeps")
+		samples  = flag.Uint64("samples", 0, "memory references sampled per run (0 = default)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		format   = flag.String("format", "text", "output format: text | json")
+		jobs     = flag.Int("j", 0, "worker count for grid cells (0 = GOMAXPROCS, 1 = serial)")
+		progress = flag.Bool("progress", false, "report per-cell wall-clock progress on stderr")
 	)
 	flag.Parse()
 
@@ -46,11 +86,21 @@ func main() {
 		o.SampleOps = *samples
 	}
 	o.Seed = *seed
+	o.Jobs = *jobs
+	if *progress {
+		rep := newProgressReporter()
+		o.OnCellStart = rep.onStart
+		o.OnCellDone = rep.onDone
+		j := o.Jobs
+		if j <= 0 {
+			j = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "lightpc-bench: %d workers\n", j)
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	run := func(n experiments.Named) {
-		tables := n.Run(o)
+	emit := func(n experiments.Named, tables []*report.Table) {
 		if *format == "json" {
 			payload := struct {
 				ID     string          `json:"id"`
@@ -69,8 +119,13 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, n := range experiments.All() {
-			run(n)
+		start := time.Now()
+		for _, out := range experiments.RunAll(o) {
+			emit(out.Named, out.Tables)
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "lightpc-bench: suite completed in %.1fs\n",
+				time.Since(start).Seconds())
 		}
 		return
 	}
@@ -79,5 +134,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lightpc-bench: unknown experiment %q (try -list)\n", *exp)
 		os.Exit(2)
 	}
-	run(n)
+	emit(n, n.Run(o))
 }

@@ -1,0 +1,132 @@
+// Command lightpc-benchseed snapshots the benchmark suite into
+// BENCH_SEED.json: it times the quick experiment suite serially and through
+// the parallel runner (recording the wall-clock speedup alongside the host's
+// GOMAXPROCS, since the speedup is only meaningful relative to the core
+// count it ran on), then runs every `go test -bench` benchmark once and
+// captures each bench's ns/op plus its custom paper metrics.
+//
+// Usage:
+//
+//	lightpc-benchseed -out BENCH_SEED.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// benchLine is one parsed `go test -bench` result line.
+type benchLine struct {
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type seed struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	SerialMs   float64 `json:"suite_serial_ms"`
+	ParallelMs float64 `json:"suite_parallel_ms"`
+	SpeedupX   float64 `json:"runner_speedup_x"`
+
+	Benches []benchLine `json:"benches"`
+}
+
+// timeSuite runs the full quick experiment suite at the given worker count
+// and returns its wall-clock plus the rendered output (so the two runs can
+// be checked for byte-equality — a corrupted-parallelism snapshot would be
+// worthless).
+func timeSuite(jobs int) (float64, string) {
+	o := experiments.QuickOptions()
+	o.Jobs = jobs
+	start := time.Now()
+	out := experiments.Render(experiments.RunAll(o))
+	return float64(time.Since(start).Microseconds()) / 1000, out
+}
+
+// parseBench extracts "Benchmark..." result lines: name, ns/op, and any
+// trailing custom metrics ("12.3 unit" pairs).
+func parseBench(out string) []benchLine {
+	var lines []benchLine
+	for _, l := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(l, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(l)
+		// name, iterations, value, "ns/op", then metric pairs.
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			continue
+		}
+		b := benchLine{Name: strings.TrimSuffix(f[0], "-"+strconv.Itoa(runtime.GOMAXPROCS(0))), NsPerOp: ns}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[f[i+1]] = v
+		}
+		lines = append(lines, b)
+	}
+	return lines
+}
+
+func main() {
+	out := flag.String("out", "BENCH_SEED.json", "output path")
+	flag.Parse()
+
+	serialMs, serialOut := timeSuite(1)
+	parallelMs, parallelOut := timeSuite(0) // 0 = GOMAXPROCS
+	if serialOut != parallelOut {
+		fmt.Fprintln(os.Stderr, "lightpc-benchseed: serial and parallel suite outputs diverged")
+		os.Exit(1)
+	}
+
+	s := seed{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SerialMs:   serialMs,
+		ParallelMs: parallelMs,
+		SpeedupX:   serialMs / parallelMs,
+	}
+
+	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchtime=1x", "-count=1", ".")
+	bout, err := cmd.CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lightpc-benchseed: go test -bench: %v\n%s", err, bout)
+		os.Exit(1)
+	}
+	s.Benches = parseBench(string(bout))
+	if len(s.Benches) == 0 {
+		fmt.Fprintln(os.Stderr, "lightpc-benchseed: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	j, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lightpc-benchseed: %v\n", err)
+		os.Exit(1)
+	}
+	j = append(j, '\n')
+	if err := os.WriteFile(*out, j, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "lightpc-benchseed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d benches, suite %.0fms serial / %.0fms at -j %d (%.2fx)\n",
+		*out, len(s.Benches), s.SerialMs, s.ParallelMs, s.GOMAXPROCS, s.SpeedupX)
+}

@@ -1,0 +1,73 @@
+package lightpc_test
+
+// examples_test.go builds every example program and runs it end-to-end:
+// the examples double as living documentation, so a refactor that breaks
+// one fails the suite rather than the next reader.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building examples is slow; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("examples directory: %v", err)
+	}
+	bindir := t.TempDir()
+	exe := ""
+	if runtime.GOOS == "windows" {
+		exe = ".exe"
+	}
+
+	// One `go build` for all seven keeps the package graph compiled once.
+	build := exec.Command("go", "build", "-o", bindir+string(os.PathSeparator), "./examples/...")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(bindir, name+exe)
+			cmd := exec.Command(bin)
+			done := make(chan error, 1)
+			var out []byte
+			start := time.Now()
+			go func() {
+				var runErr error
+				out, runErr = cmd.CombinedOutput()
+				done <- runErr
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("%s exited with %v after %v\n%s", name, err, time.Since(start), out)
+				}
+				if len(out) == 0 {
+					t.Fatalf("%s printed nothing", name)
+				}
+			case <-time.After(2 * time.Minute):
+				if cmd.Process != nil {
+					cmd.Process.Kill()
+				}
+				t.Fatalf("%s still running after 2m", name)
+			}
+		})
+		ran++
+	}
+	if ran < 7 {
+		t.Fatalf("found %d example programs, expected at least 7", ran)
+	}
+}

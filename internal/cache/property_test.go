@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// property_test.go checks the DESIGN.md cache invariants against a shadow
+// model driven purely by observable traffic:
+//
+//   - inclusion: every line the cache writes back (eviction or flush) is a
+//     line it previously filled and that a CPU store dirtied — the cache
+//     never invents backend writes;
+//   - conservation: dirty episodes (clean→dirty transitions) equal eviction
+//     writebacks + flush writebacks + lines still dirty, so store-miss
+//     traffic is neither duplicated nor lost on its way to the backend.
+
+// obsBackend records every fill read and writeback write the cache issues.
+type obsBackend struct {
+	lat       sim.Duration
+	reads     []uint64
+	writes    []uint64
+	lastWrite sim.Time
+}
+
+func (b *obsBackend) Read(now sim.Time, addr uint64) sim.Time {
+	b.reads = append(b.reads, addr)
+	return now.Add(b.lat)
+}
+
+func (b *obsBackend) Write(now sim.Time, addr uint64) sim.Time {
+	b.writes = append(b.writes, addr)
+	b.lastWrite = now.Add(b.lat)
+	return b.lastWrite
+}
+
+// shadow tracks, from the same access stream the cache sees, which lines
+// must currently be dirty. It learns about evictions only the way the
+// backend does: by observing writebacks.
+type shadow struct {
+	dirty    map[uint64]bool
+	filled   map[uint64]bool
+	episodes uint64
+}
+
+func TestCacheDirtyConservation(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default-16KB-4way", DefaultConfig()},
+		{"tiny-direct-mapped", Config{SizeBytes: 256, Ways: 1, LineSize: 64, HitLatency: sim.FromNanoseconds(5)}},
+		{"two-way-512B", Config{SizeBytes: 512, Ways: 2, LineSize: 64, HitLatency: sim.FromNanoseconds(5)}},
+	}
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			be := &obsBackend{lat: sim.FromNanoseconds(60)}
+			c := New(tc.cfg, be)
+			sh := &shadow{dirty: map[uint64]bool{}, filled: map[uint64]bool{}}
+			rng := sim.NewRNG(7).Split("cache-property/" + tc.name)
+
+			// Footprint several times the cache size so evictions are common.
+			footprint := uint64(4 * tc.cfg.SizeBytes)
+			line := uint64(tc.cfg.LineSize)
+			now := sim.Time(0)
+			for i := 0; i < 20000; i++ {
+				addr := rng.Uint64n(footprint)
+				op := trace.OpRead
+				if rng.Bool(0.4) {
+					op = trace.OpWrite
+				}
+				nw := len(be.writes)
+				nr := len(be.reads)
+				done, hit := c.Access(now, trace.Access{Addr: addr, Op: op})
+				if done < now {
+					t.Fatalf("access completed at %v before it started at %v", done, now)
+				}
+
+				// Every fill the cache performed is remembered; every
+				// writeback must hit a line we know to be dirty (inclusion:
+				// dirty ⇒ cached ⇒ previously filled).
+				for _, wb := range be.writes[nw:] {
+					if !sh.dirty[wb] {
+						t.Fatalf("writeback of %#x which the shadow never saw dirtied", wb)
+					}
+					if !sh.filled[wb] {
+						t.Fatalf("writeback of %#x which was never filled", wb)
+					}
+					delete(sh.dirty, wb)
+				}
+				for _, f := range be.reads[nr:] {
+					sh.filled[f] = true
+				}
+				if hit == (len(be.reads) != nr) {
+					t.Fatalf("hit=%v but fill-read count changed by %d", hit, len(be.reads)-nr)
+				}
+
+				// A store makes its line dirty; a clean→dirty flip is one
+				// episode that must eventually surface as exactly one
+				// writeback (or remain resident).
+				if op == trace.OpWrite {
+					la := addr - addr%line
+					if !sh.dirty[la] {
+						sh.dirty[la] = true
+						sh.episodes++
+					}
+				}
+				now = done
+			}
+
+			st := c.Stats()
+			if got := uint64(len(be.reads)); st.Fills != got || st.ReadMisses+st.WriteMisses != got {
+				t.Errorf("fills=%d misses=%d backend reads=%d — miss traffic mismatch",
+					st.Fills, st.ReadMisses+st.WriteMisses, got)
+			}
+			if got, want := c.DirtyLines(), len(sh.dirty); got != want {
+				t.Errorf("cache reports %d dirty lines, shadow says %d", got, want)
+			}
+			if st.Writebacks+uint64(len(sh.dirty)) != sh.episodes {
+				t.Errorf("conservation pre-flush: %d writebacks + %d resident dirty != %d dirty episodes",
+					st.Writebacks, len(sh.dirty), sh.episodes)
+			}
+
+			// Flush drains everything: afterwards every episode is accounted
+			// for by exactly one backend write and no line stays dirty.
+			end := c.Flush(now)
+			st = c.Stats()
+			for _, wb := range be.writes[len(be.writes)-int(st.FlushedLines):] {
+				delete(sh.dirty, wb)
+			}
+			if len(sh.dirty) != 0 {
+				t.Errorf("%d shadow-dirty lines were never written back by Flush", len(sh.dirty))
+			}
+			if c.DirtyLines() != 0 {
+				t.Errorf("DirtyLines()=%d after Flush", c.DirtyLines())
+			}
+			if st.Writebacks+st.FlushedLines != sh.episodes {
+				t.Errorf("conservation post-flush: %d writebacks + %d flushed != %d episodes",
+					st.Writebacks, st.FlushedLines, sh.episodes)
+			}
+			if uint64(len(be.writes)) != st.Writebacks+st.FlushedLines {
+				t.Errorf("backend saw %d writes, stats claim %d+%d",
+					len(be.writes), st.Writebacks, st.FlushedLines)
+			}
+			if end < be.lastWrite {
+				t.Errorf("Flush returned %v before its last writeback ack %v", end, be.lastWrite)
+			}
+		})
+	}
+}

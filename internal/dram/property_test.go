@@ -1,0 +1,101 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// property_test.go checks the DESIGN.md retention invariant: the DIMM's
+// refresh schedule never falls behind real time. Every tREFI interval that
+// has fully elapsed (plus the tRFC completion slack) must have performed
+// its refresh by the time any request is serviced — otherwise the model
+// would be simulating data loss.
+
+// refreshFloor counts the refresh windows that must have closed by time t:
+// window k occupies [k*tREFI, k*tREFI+tRFC).
+func refreshFloor(t sim.Time, cfg Config) uint64 {
+	if int64(t) <= int64(cfg.RefreshLatency)+int64(cfg.RefreshInterval) {
+		return 0
+	}
+	return uint64((int64(t) - int64(cfg.RefreshLatency)) / int64(cfg.RefreshInterval))
+}
+
+func TestDRAMRefreshMeetsRetentionDeadline(t *testing.T) {
+	cfgs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"ddr4-default", DefaultConfig()},
+		{"fast-refresh", Config{
+			Banks: 4, RowHit: sim.FromNanoseconds(25), RowMiss: sim.FromNanoseconds(50),
+			RowSize: 2 << 10, RefreshInterval: sim.FromNanoseconds(500),
+			RefreshLatency: sim.FromNanoseconds(100),
+		}},
+	}
+	for _, tc := range cfgs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			d := New(tc.cfg)
+			rng := sim.NewRNG(7).Split("dram-property/" + tc.name)
+			now := sim.Time(0)
+			var maxDone sim.Time
+			for i := 0; i < 5000; i++ {
+				// Mostly small gaps, but occasionally idle across many
+				// refresh intervals so the catch-up path is exercised.
+				gap := sim.Duration(rng.Uint64n(uint64(tc.cfg.RowMiss) * 2))
+				if rng.Bool(0.02) {
+					gap = sim.Duration(rng.Uint64n(uint64(tc.cfg.RefreshInterval) * 20))
+				}
+				now = now.Add(gap)
+				addr := rng.Uint64n(64 * tc.cfg.RowSize)
+				var done sim.Time
+				if rng.Bool(0.3) {
+					done = d.Write(now, addr)
+				} else {
+					done = d.Read(now, addr)
+				}
+				if done < now {
+					t.Fatalf("op %d completed at %v before start %v", i, done, now)
+				}
+				maxDone = sim.Max(maxDone, done)
+
+				_, _, _, refreshes := d.Stats()
+				// Retention deadline: all windows that closed before this
+				// request arrived must have been performed.
+				if floor := refreshFloor(now, tc.cfg); refreshes < floor {
+					t.Fatalf("op %d at %v: %d refreshes performed, retention requires >= %d",
+						i, now, refreshes, floor)
+				}
+				// Sanity ceiling: the model can't refresh ahead of the
+				// schedule either (at most one window pulled in by a request
+				// landing inside it).
+				if ceil := uint64(int64(maxDone)/int64(tc.cfg.RefreshInterval)) + 1; refreshes > ceil {
+					t.Fatalf("op %d: %d refreshes exceed schedule ceiling %d", i, refreshes, ceil)
+				}
+			}
+		})
+	}
+}
+
+// TestDRAMRefreshStallDeterministic pins the exact stall a request pays when
+// it lands inside a refresh window: arriving exactly at tREFI on a fresh
+// DIMM, it waits out tRFC and then pays a row-miss.
+func TestDRAMRefreshStallDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	at := sim.Time(cfg.RefreshInterval)
+	done := d.Read(at, 0)
+	want := at.Add(cfg.RefreshLatency).Add(cfg.RowMiss)
+	if done != want {
+		t.Fatalf("read at tREFI completed at %v, want tREFI+tRFC+rowMiss = %v", done, want)
+	}
+	if _, _, _, refreshes := d.Stats(); refreshes != 1 {
+		t.Fatalf("refreshes = %d, want 1", refreshes)
+	}
+	// Just before the next window opens there is no stall: open-row hit.
+	at2 := sim.Time(cfg.RefreshInterval * 2).Add(-cfg.RowHit)
+	if done2 := d.Read(at2, 0); done2 != at2.Add(cfg.RowHit) {
+		t.Fatalf("pre-window read completed at %v, want %v", done2, at2.Add(cfg.RowHit))
+	}
+}

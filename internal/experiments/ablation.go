@@ -5,6 +5,7 @@ import (
 	"repro/internal/nvdimm"
 	"repro/internal/psm"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/sng"
 )
@@ -181,16 +182,36 @@ func ablationTable(a AblationResult) *report.Table {
 	return t
 }
 
-// Ablations runs all five design-choice studies.
+// Ablations runs all five design-choice studies, one runner cell per
+// study. The full and ablated variants inside a study share the study's
+// sub-seed so each ratio compares identical stimulus.
 func Ablations(o Options) ([]AblationResult, []*report.Table) {
-	type fn func(Options) (AblationResult, *report.Table)
-	var results []AblationResult
-	var tables []*report.Table
-	for _, f := range []fn{AblationXCC, AblationChannel, AblationRowBuffer,
-		AblationBalance, AblationWearLevel} {
-		r, t := f(o)
-		results = append(results, r)
-		tables = append(tables, t)
+	type study struct {
+		label string
+		run   func(Options) (AblationResult, *report.Table)
+	}
+	studies := []study{
+		{"ablation/xcc", AblationXCC},
+		{"ablation/channel", AblationChannel},
+		{"ablation/rowbuffer", AblationRowBuffer},
+		{"ablation/balance", AblationBalance},
+		{"ablation/wearlevel", AblationWearLevel},
+	}
+	type out struct {
+		res AblationResult
+		tab *report.Table
+	}
+	outs := runner.Map(o.pool(), studies,
+		func(_ int, s study) string { return s.label },
+		func(_ string, s study) out {
+			r, t := s.run(o.cell(s.label))
+			return out{r, t}
+		})
+	results := make([]AblationResult, len(outs))
+	tables := make([]*report.Table, len(outs))
+	for i, v := range outs {
+		results[i] = v.res
+		tables[i] = v.tab
 	}
 	return results, tables
 }

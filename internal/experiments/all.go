@@ -123,3 +123,35 @@ func ByID(id string) (Named, bool) {
 	}
 	return Named{}, false
 }
+
+// Output pairs one experiment with its rendered tables.
+type Output struct {
+	Named
+	Tables []*report.Table
+}
+
+// RunAll executes every experiment in paper order and returns the outputs
+// in that order. The experiments run one after another — each grid-shaped
+// harness parallelizes internally across o.Jobs workers — so the
+// concatenated output is identical at any parallelism.
+func RunAll(o Options) []Output {
+	names := All()
+	outs := make([]Output, len(names))
+	for i, n := range names {
+		outs[i] = Output{Named: n, Tables: n.Run(o)}
+	}
+	return outs
+}
+
+// Render concatenates every output's tables — the byte stream the golden
+// and serial/parallel-equivalence tests lock down.
+func Render(outs []Output) string {
+	var b []byte
+	for _, out := range outs {
+		for _, t := range out.Tables {
+			b = append(b, t.String()...)
+			b = append(b, '\n')
+		}
+	}
+	return string(b)
+}

@@ -7,6 +7,8 @@ package experiments
 
 import (
 	lightpc "repro"
+	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -19,6 +21,33 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks the heaviest sweeps (used by unit tests).
 	Quick bool
+
+	// Jobs caps the runner's worker count for the grid-shaped harnesses.
+	// 0 means GOMAXPROCS; 1 forces serial execution. Output is
+	// byte-for-byte identical at every setting (see internal/runner).
+	Jobs int
+	// OnCellStart and OnCellDone observe runner cells as workers pick
+	// them up and finish them (the CLI's -progress reporting). They may
+	// be called concurrently.
+	OnCellStart func(label string)
+	OnCellDone  func(label string)
+}
+
+// pool builds the runner pool every grid harness executes on.
+func (o Options) pool() runner.Pool {
+	return runner.Pool{Workers: o.Jobs, OnStart: o.OnCellStart, OnDone: o.OnCellDone}
+}
+
+// cell derives the options one runner cell runs with: same fidelity, an
+// independent sub-seed named by the label. Cells whose results are
+// compared against each other (the same workload on different platforms)
+// must share a label so they run the identical reference stream —
+// cross-platform ratios must compare the same program.
+func (o Options) cell(label string) Options {
+	o.Seed = sim.SubSeed(o.Seed, label)
+	o.Jobs = 1
+	o.OnCellStart, o.OnCellDone = nil, nil
+	return o
 }
 
 // DefaultOptions is the full-fidelity configuration.

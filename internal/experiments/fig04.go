@@ -8,6 +8,7 @@ import (
 	"repro/internal/pmdk"
 	"repro/internal/pmemdimm"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -115,45 +116,66 @@ func withSeed(seed uint64) pmemdimm.Config {
 
 // Fig04PersistControl reproduces Figure 4: average latency and memory
 // subsystem power for the five persistence-control configurations across
-// the workload suite.
+// the workload suite. One runner cell per (mode, workload) grid point;
+// the five modes of a workload share the workload's sub-seed so the
+// ladder compares identical reference streams.
 func Fig04PersistControl(o Options) ([]Fig04Row, *report.Table) {
 	suite := specs(o)
-	rows := make([]Fig04Row, 0, 5)
-	for _, mode := range Modes() {
+	modes := Modes()
+	type cellOut struct {
+		elapsed sim.Duration
+		watts   float64
+	}
+	var cells []runner.Cell[cellOut]
+	for _, mode := range modes {
+		for _, s := range suite {
+			cells = append(cells, runner.Cell[cellOut]{
+				Label: "fig4/" + s.Name + "/" + mode.String(),
+				Run: func() cellOut {
+					co := o.cell("fig4/" + s.Name)
+					backend, pd, dramWorking := buildBackend(mode, co.Seed)
+					gens := cpu.Fanout(s, 8, co.SampleOps, co.Seed)
+					res := cpu.Run(cpu.DefaultConfig(), 0, gens, backend)
+
+					sub := memorySubsystem{dramWorking: dramWorking, pmemPresent: pd != nil}
+					if pd != nil && res.Elapsed > 0 {
+						// The DIMM's draw tracks its utilization: host-level
+						// requests (lookups, combining) plus media programs and
+						// senses.
+						st := pd.Stats()
+						busyTime := sim.Duration(st.MediaReads+st.MediaWrites)*
+							pmemdimm.DefaultConfig().MediaRead +
+							sim.Duration(st.Reads+st.Writes)*sim.FromNanoseconds(40)
+						u := float64(busyTime) / float64(res.Elapsed)
+						if dramWorking {
+							// Memory mode: the near cache and snarf overlap keep
+							// the DIMM mostly idle.
+							u *= 0.15
+						}
+						if u > 1 {
+							u = 1
+						}
+						sub.pmemBusy = u
+					}
+					return cellOut{elapsed: res.Elapsed, watts: sub.watts()}
+				},
+			})
+		}
+	}
+	outs := runner.Run(o.pool(), cells)
+
+	rows := make([]Fig04Row, 0, len(modes))
+	for mi, mode := range modes {
 		var sumT sim.Duration
 		var sumW float64
-		for _, s := range suite {
-			backend, pd, dramWorking := buildBackend(mode, o.Seed)
-			gens := cpu.Fanout(s, 8, o.SampleOps, o.Seed)
-			res := cpu.Run(cpu.DefaultConfig(), 0, gens, backend)
-			sumT += res.Elapsed
-
-			sub := memorySubsystem{dramWorking: dramWorking, pmemPresent: pd != nil}
-			if pd != nil && res.Elapsed > 0 {
-				// The DIMM's draw tracks its utilization: host-level
-				// requests (lookups, combining) plus media programs and
-				// senses.
-				st := pd.Stats()
-				busyTime := sim.Duration(st.MediaReads+st.MediaWrites)*
-					pmemdimm.DefaultConfig().MediaRead +
-					sim.Duration(st.Reads+st.Writes)*sim.FromNanoseconds(40)
-				u := float64(busyTime) / float64(res.Elapsed)
-				if dramWorking {
-					// Memory mode: the near cache and snarf overlap keep
-					// the DIMM mostly idle.
-					u *= 0.15
-				}
-				if u > 1 {
-					u = 1
-				}
-				sub.pmemBusy = u
-			}
-			sumW += sub.watts()
+		for wi := range suite {
+			out := outs[mi*len(suite)+wi]
+			sumT += out.elapsed
+			sumW += out.watts
 		}
-		n := sim.Duration(len(suite))
 		rows = append(rows, Fig04Row{
 			Mode:        mode,
-			MeanElapsed: sumT / n,
+			MeanElapsed: sumT / sim.Duration(len(suite)),
 			MeanPowerW:  sumW / float64(len(suite)),
 		})
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	lightpc "repro"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -48,18 +49,35 @@ func (r Fig15Result) MeanBaselineOverFull() float64 {
 }
 
 // Fig15ExecLatency reproduces Figure 15: in-memory execution time of every
-// workload on LegacyPC, LightPC-B, and LightPC.
+// workload on LegacyPC, LightPC-B, and LightPC. One runner cell per
+// (workload, platform) grid point; the three platforms of a workload share
+// the workload's sub-seed so the ratios compare identical reference
+// streams.
 func Fig15ExecLatency(o Options) (Fig15Result, *report.Table) {
+	suite := specs(o)
+	kinds := []lightpc.Kind{lightpc.LegacyPC, lightpc.LightPCB, lightpc.LightPCFull}
+	var cells []runner.Cell[sim.Duration]
+	for _, s := range suite {
+		for _, k := range kinds {
+			cells = append(cells, runner.Cell[sim.Duration]{
+				Label: "fig15/" + s.Name + "/" + k.String(),
+				Run: func() sim.Duration {
+					r, _ := runOn(k, s, o.cell("fig15/"+s.Name))
+					return r.Elapsed
+				},
+			})
+		}
+	}
+	durs := runner.Run(o.pool(), cells)
+
 	var res Fig15Result
-	for _, s := range specs(o) {
-		row := Fig15Row{Workload: s.Name}
-		l, _ := runOn(lightpc.LegacyPC, s, o)
-		row.Legacy = l.Elapsed
-		b, _ := runOn(lightpc.LightPCB, s, o)
-		row.Baseline = b.Elapsed
-		f, _ := runOn(lightpc.LightPCFull, s, o)
-		row.LightPC = f.Elapsed
-		res.Rows = append(res.Rows, row)
+	for i, s := range suite {
+		res.Rows = append(res.Rows, Fig15Row{
+			Workload: s.Name,
+			Legacy:   durs[i*3],
+			Baseline: durs[i*3+1],
+			LightPC:  durs[i*3+2],
+		})
 	}
 	t := report.New("Fig 15: in-memory execution latency",
 		"workload", "LegacyPC", "LightPC-B", "LightPC", "LightPC/Legacy", "B/LightPC")

@@ -3,6 +3,7 @@ package experiments
 import (
 	lightpc "repro"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -36,14 +37,28 @@ func (r Fig16Result) MeanPenalty() float64 {
 // latency normalized to LightPC, per workload — the head-of-line-blocking
 // cost the PSM's non-blocking services remove.
 func Fig16ReadLatency(o Options) (Fig16Result, *report.Table) {
+	suite := specs(o)
+	kinds := []lightpc.Kind{lightpc.LightPCB, lightpc.LightPCFull}
+	var cells []runner.Cell[sim.Duration]
+	for _, s := range suite {
+		for _, k := range kinds {
+			cells = append(cells, runner.Cell[sim.Duration]{
+				Label: "fig16/" + s.Name + "/" + k.String(),
+				Run: func() sim.Duration {
+					_, p := runOn(k, s, o.cell("fig16/"+s.Name))
+					return p.PSM().ReadLatency().Mean()
+				},
+			})
+		}
+	}
+	lats := runner.Run(o.pool(), cells)
+
 	var res Fig16Result
-	for _, s := range specs(o) {
-		_, pb := runOn(lightpc.LightPCB, s, o)
-		_, pf := runOn(lightpc.LightPCFull, s, o)
+	for i, s := range suite {
 		res.Rows = append(res.Rows, Fig16Row{
 			Workload:    s.Name,
-			BaselineLat: pb.PSM().ReadLatency().Mean(),
-			LightPCLat:  pf.PSM().ReadLatency().Mean(),
+			BaselineLat: lats[i*2],
+			LightPCLat:  lats[i*2+1],
 		})
 	}
 	t := report.New("Fig 16: LightPC-B read latency normalized to LightPC",

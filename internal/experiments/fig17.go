@@ -3,6 +3,7 @@ package experiments
 import (
 	lightpc "repro"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -38,9 +39,9 @@ func Fig17Stream(o Options) (Fig17Result, *report.Table) {
 	if o.Quick {
 		elements = 40_000
 	}
-	run := func(kind lightpc.Kind, k workload.Kernel) float64 {
+	run := func(kind lightpc.Kind, k workload.Kernel, seed uint64) float64 {
 		cfg := lightpc.DefaultConfig(kind)
-		cfg.Seed = o.Seed
+		cfg.Seed = seed
 		p := lightpc.New(cfg)
 		// One stream per core, disjoint element ranges via distinct
 		// generators (STREAM runs with OpenMP threads).
@@ -55,12 +56,27 @@ func Fig17Stream(o Options) (Fig17Result, *report.Table) {
 		bytes := float64(elements) * float64(k.BytesPerElement())
 		return bytes / res.Elapsed.Seconds()
 	}
+	kernels := workload.Kernels()
+	kinds := []lightpc.Kind{lightpc.LegacyPC, lightpc.LightPCFull}
+	var cells []runner.Cell[float64]
+	for _, k := range kernels {
+		for _, kind := range kinds {
+			cells = append(cells, runner.Cell[float64]{
+				Label: "fig17/" + k.String() + "/" + kind.String(),
+				Run: func() float64 {
+					return run(kind, k, o.cell("fig17/"+k.String()).Seed)
+				},
+			})
+		}
+	}
+	bws := runner.Run(o.pool(), cells)
+
 	var res Fig17Result
-	for _, k := range workload.Kernels() {
+	for i, k := range kernels {
 		res.Rows = append(res.Rows, Fig17Row{
 			Kernel:    k,
-			LegacyBW:  run(lightpc.LegacyPC, k),
-			LightPCBW: run(lightpc.LightPCFull, k),
+			LegacyBW:  bws[i*2],
+			LightPCBW: bws[i*2+1],
 		})
 	}
 	t := report.New("Fig 17: STREAM bandwidth (LightPC normalized to LegacyPC)",

@@ -3,6 +3,7 @@ package experiments
 import (
 	lightpc "repro"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 // Fig18Row is one workload's power/energy on the three platforms.
@@ -49,15 +50,30 @@ func (r Fig18Result) BaselineEnergySaving() float64 {
 // Fig18PowerEnergy reproduces Figure 18: system power and energy for the
 // in-memory executions on the three platforms.
 func Fig18PowerEnergy(o Options) (Fig18Result, *report.Table) {
+	suite := specs(o)
+	kinds := []lightpc.Kind{lightpc.LegacyPC, lightpc.LightPCB, lightpc.LightPCFull}
+	type wj struct{ W, J float64 }
+	var cells []runner.Cell[wj]
+	for _, s := range suite {
+		for _, k := range kinds {
+			cells = append(cells, runner.Cell[wj]{
+				Label: "fig18/" + s.Name + "/" + k.String(),
+				Run: func() wj {
+					r, _ := runOn(k, s, o.cell("fig18/"+s.Name))
+					return wj{r.AvgPowerW, r.EnergyJ}
+				},
+			})
+		}
+	}
+	pts := runner.Run(o.pool(), cells)
+
 	var res Fig18Result
-	for _, s := range specs(o) {
-		l, _ := runOn(lightpc.LegacyPC, s, o)
-		b, _ := runOn(lightpc.LightPCB, s, o)
-		f, _ := runOn(lightpc.LightPCFull, s, o)
+	for i, s := range suite {
+		l, b, f := pts[i*3], pts[i*3+1], pts[i*3+2]
 		res.Rows = append(res.Rows, Fig18Row{
 			Workload: s.Name,
-			LegacyW:  l.AvgPowerW, BaselineW: b.AvgPowerW, LightW: f.AvgPowerW,
-			LegacyJ: l.EnergyJ, BaselineJ: b.EnergyJ, LightJ: f.EnergyJ,
+			LegacyW:  l.W, BaselineW: b.W, LightW: f.W,
+			LegacyJ: l.J, BaselineJ: b.J, LightJ: f.J,
 		})
 	}
 	t := report.New("Fig 18: power and energy",

@@ -5,6 +5,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/power"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -27,22 +28,25 @@ type Fig19Result struct {
 // runs scaled to the full Table II reference counts. Instruction counts are
 // derived from the benchmark's own reference count and compute gap (the
 // ambient kernel-thread traffic must not inflate the checkpoint frequency).
+// One runner cell per workload; Fig19Persistence and Fig20Flush both call
+// this with the same options, so they see identical profiles.
 func profiles(o Options) []persist.Profile {
-	var out []persist.Profile
-	for _, s := range specs(o) {
-		res, _ := runOn(lightpc.LightPCFull, s, o)
-		scale := scaleToFull(s, res, o.SampleOps)
-		fullRefs := s.Reads + s.Writes
-		instr := uint64(fullRefs) * uint64(workload.GapCycles(s)+1)
-		out = append(out, persist.Profile{
-			Name:           s.Name,
-			ExecTime:       sim.Duration(float64(res.Elapsed) * scale),
-			Instructions:   instr,
-			FootprintBytes: s.FootprintBytes,
-			DirtyFraction:  0.5,
+	return runner.Map(o.pool(), specs(o),
+		func(_ int, s workload.Spec) string { return "fig19/profiles/" + s.Name + "/LightPC" },
+		func(_ string, s workload.Spec) persist.Profile {
+			co := o.cell("fig19/profiles/" + s.Name)
+			res, _ := runOn(lightpc.LightPCFull, s, co)
+			scale := scaleToFull(s, res, co.SampleOps)
+			fullRefs := s.Reads + s.Writes
+			instr := uint64(fullRefs) * uint64(workload.GapCycles(s)+1)
+			return persist.Profile{
+				Name:           s.Name,
+				ExecTime:       sim.Duration(float64(res.Elapsed) * scale),
+				Instructions:   instr,
+				FootprintBytes: s.FootprintBytes,
+				DirtyFraction:  0.5,
+			}
 		})
-	}
-	return out
 }
 
 // Fig19Persistence reproduces Figures 19a–c: execution cycles (benchmark +

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/sng"
 )
@@ -30,33 +31,41 @@ func Fig22Scalability(o Options) ([]Fig22Point, *report.Table) {
 		cores = []int{8, 32, 64}
 		aggregateKB = []int{0, 40960}
 	}
-	var points []Fig22Point
+	// One runner cell per (cores, aggregate-cache) grid point.
+	var cells []runner.Cell[Fig22Point]
 	for _, nc := range cores {
 		for _, aggKB := range aggregateKB {
-			kb := aggKB / nc
-			if aggKB == 0 {
-				kb = 16
-			}
-			lines := kb * 1024 / 64
-			cfg := kernel.DefaultConfig()
-			cfg.Seed = o.Seed
-			cfg.Cores = nc
-			cfg.Devices = 730 // worst-case dpm_list
-			cfg.CacheLinesPerCore = lines
-			k := kernel.New(cfg)
-			for _, c := range k.Cores {
-				c.DirtyLines = lines // fully dirty
-			}
-			rep := sng.New(k).Stop(0, sim.Time(10*sim.Second))
-			points = append(points, Fig22Point{
-				Cores:      nc,
-				CacheBytes: nc * kb * 1024,
-				Total:      rep.Total,
-				FitsATX:    rep.Total <= 16*sim.Millisecond,
-				FitsServer: rep.Total <= 55*sim.Millisecond,
+			label := fmt.Sprintf("fig22/%dc/%dKB", nc, aggKB)
+			cells = append(cells, runner.Cell[Fig22Point]{
+				Label: label,
+				Run: func() Fig22Point {
+					kb := aggKB / nc
+					if aggKB == 0 {
+						kb = 16
+					}
+					lines := kb * 1024 / 64
+					cfg := kernel.DefaultConfig()
+					cfg.Seed = o.cell(label).Seed
+					cfg.Cores = nc
+					cfg.Devices = 730 // worst-case dpm_list
+					cfg.CacheLinesPerCore = lines
+					k := kernel.New(cfg)
+					for _, c := range k.Cores {
+						c.DirtyLines = lines // fully dirty
+					}
+					rep := sng.New(k).Stop(0, sim.Time(10*sim.Second))
+					return Fig22Point{
+						Cores:      nc,
+						CacheBytes: nc * kb * 1024,
+						Total:      rep.Total,
+						FitsATX:    rep.Total <= 16*sim.Millisecond,
+						FitsServer: rep.Total <= 55*sim.Millisecond,
+					}
+				},
 			})
 		}
 	}
+	points := runner.Run(o.pool(), cells)
 	t := report.New("Fig 22: worst-case SnG scalability (730 drivers, fully dirty caches)",
 		"cores", "total cache", "SnG total", "≤16ms ATX", "≤55ms server")
 	for _, p := range points {

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -11,12 +12,17 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite the golden experiment outputs")
 
 // TestGoldenOutputs locks every experiment's rendered output against
-// checked-in golden files: the simulation is seeded and single-threaded,
-// so any diff is a real behaviour change. Regenerate intentionally with
+// checked-in golden files: the simulation is seeded, and the runner's
+// cells are sub-seeded by label and merged in canonical order, so any
+// diff is a real behaviour change — at every parallelism. The test runs
+// through the parallel runner (Jobs = GOMAXPROCS); the serial/parallel
+// equivalence test pins the j-independence itself. Regenerate
+// intentionally with
 //
 //	go test ./internal/experiments -run Golden -update
 func TestGoldenOutputs(t *testing.T) {
 	o := QuickOptions()
+	o.Jobs = runtime.GOMAXPROCS(0)
 	for _, n := range All() {
 		n := n
 		t.Run(n.ID, func(t *testing.T) {

@@ -3,6 +3,7 @@ package experiments
 import (
 	lightpc "repro"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -56,31 +57,36 @@ type TableIIRow struct {
 }
 
 // TableII regenerates the benchmark characterization by running every
-// workload on the LightPC platform and reading the PSM's counters.
+// workload on the LightPC platform and reading the PSM's counters. One
+// runner cell per workload.
 func TableII(o Options) ([]TableIIRow, *report.Table) {
+	rows := runner.Map(o.pool(), specs(o),
+		func(_ int, s workload.Spec) string { return "tableII/" + s.Name + "/LightPC" },
+		func(_ string, s workload.Spec) TableIIRow {
+			co := o.cell("tableII/" + s.Name)
+			_, p := runOn(lightpc.LightPCFull, s, co)
+			st := p.PSM().Stats()
+			// Characterize the workload's own traffic (without the ambient
+			// kernel threads the platform run adds).
+			g := workload.NewSynthetic(s, co.SampleOps, co.Seed)
+			for {
+				if _, ok := g.Next(); !ok {
+					break
+				}
+			}
+			gs := g.Stats()
+			return TableIIRow{
+				Spec:          s,
+				RowBufferHits: st.RowBufferHits,
+				MemReads:      gs.Reads,
+				MemWrites:     gs.Writes,
+			}
+		})
 	t := report.New("Table II: benchmark characterization",
 		"workload", "category", "mem reads", "mem writes", "r/w",
 		"buffer hit", "D$ read hit", "D$ write hit", "multi")
-	var rows []TableIIRow
-	for _, s := range specs(o) {
-		_, p := runOn(lightpc.LightPCFull, s, o)
-		st := p.PSM().Stats()
-		// Characterize the workload's own traffic (without the ambient
-		// kernel threads the platform run adds).
-		g := workload.NewSynthetic(s, o.SampleOps, o.Seed)
-		for {
-			if _, ok := g.Next(); !ok {
-				break
-			}
-		}
-		gs := g.Stats()
-		row := TableIIRow{
-			Spec:          s,
-			RowBufferHits: st.RowBufferHits,
-			MemReads:      gs.Reads,
-			MemWrites:     gs.Writes,
-		}
-		rows = append(rows, row)
+	for _, row := range rows {
+		s := row.Spec
 		multi := ""
 		if s.MultiThread {
 			multi = "yes"

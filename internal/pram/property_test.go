@@ -1,0 +1,107 @@
+package pram
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// property_test.go checks the DESIGN.md cooling-window invariant under
+// randomized access interleavings: once a granule row is programmed, no
+// read of that row may sense it before the thermal window closes, and an
+// overwrite must serialize behind it. The test replays every interleaving
+// against an exact shadow of the documented device semantics, so any drift
+// in Read/Write/Busy/Drain timing fails with the exact operation index.
+
+type shadowDev struct {
+	busyUntil sim.Time
+	cooling   map[uint64]sim.Time // row -> program completion
+}
+
+func TestPRAMCoolingWindowRandomInterleavings(t *testing.T) {
+	cfgs := []struct {
+		name string
+		cfg  DeviceConfig
+	}{
+		{"table1-timing", DefaultConfig()},
+		{"slow-write", DeviceConfig{
+			ReadLatency:  sim.FromNanoseconds(50),
+			WriteLatency: sim.FromNanoseconds(400),
+			Seed:         3,
+		}},
+	}
+	for _, tc := range cfgs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for trial := 0; trial < 8; trial++ {
+				d := NewDevice(tc.cfg)
+				sh := &shadowDev{cooling: map[uint64]sim.Time{}}
+				rng := sim.NewRNG(uint64(trial + 1)).Split("pram-property/" + tc.name)
+
+				// A handful of rows so read-after-write conflicts are dense.
+				const rows = 6
+				now := sim.Time(0)
+				var lastComplete sim.Time
+				for i := 0; i < 4000; i++ {
+					now = now.Add(sim.Duration(rng.Uint64n(uint64(tc.cfg.WriteLatency))))
+					row := uint64(rng.Intn(rows))
+
+					if cool, busy := sh.cooling[row], d.Busy(now, row); busy != (cool > now) {
+						t.Fatalf("op %d: Busy(row %d)=%v, shadow cooling ends %v now %v",
+							i, row, busy, cool, now)
+					}
+
+					if rng.Bool(0.5) {
+						start := sim.Max(now, sh.busyUntil)
+						wantConflict := false
+						if cool := sh.cooling[row]; cool > start {
+							// The cooling window must gate the sense.
+							start = cool
+							wantConflict = true
+						}
+						wantDone := start.Add(tc.cfg.ReadLatency)
+						done, conflicted, _ := d.Read(now, row)
+						if done != wantDone || conflicted != wantConflict {
+							t.Fatalf("op %d: Read(row %d) = (%v, %v), shadow wants (%v, %v)",
+								i, row, done, conflicted, wantDone, wantConflict)
+						}
+						if cool := sh.cooling[row]; cool > sim.Max(now, sh.busyUntil) && done.Add(-tc.cfg.ReadLatency) < cool {
+							t.Fatalf("op %d: read sensed row %d at %v inside cooling window ending %v",
+								i, row, done.Add(-tc.cfg.ReadLatency), cool)
+						}
+						sh.busyUntil = wantDone
+					} else {
+						wantAccept := sim.Max(now, sh.busyUntil)
+						if cool := sh.cooling[row]; cool > wantAccept {
+							// Overwrite of a still-cooling row serializes.
+							wantAccept = cool
+						}
+						wantComplete := wantAccept.Add(tc.cfg.WriteLatency)
+						accept, complete := d.Write(now, row)
+						if accept != wantAccept || complete != wantComplete {
+							t.Fatalf("op %d: Write(row %d) = (%v, %v), shadow wants (%v, %v)",
+								i, row, accept, complete, wantAccept, wantComplete)
+						}
+						if complete.Sub(accept) != tc.cfg.WriteLatency {
+							t.Fatalf("op %d: programming window shortened to %v", i, complete.Sub(accept))
+						}
+						sh.busyUntil = wantAccept.Add(tc.cfg.ReadLatency)
+						sh.cooling[row] = wantComplete
+						lastComplete = sim.Max(lastComplete, wantComplete)
+					}
+
+					wantDrain := now
+					for _, c := range sh.cooling {
+						wantDrain = sim.Max(wantDrain, c)
+					}
+					if got := d.Drain(now); got != wantDrain {
+						t.Fatalf("op %d: Drain = %v, shadow wants %v", i, got, wantDrain)
+					}
+				}
+				if drained := d.Drain(now); drained < lastComplete && lastComplete > now {
+					t.Fatalf("final Drain %v precedes last program completion %v", drained, lastComplete)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// grid builds n cells whose results depend only on their label-derived
+// sub-seed — the shape every experiment harness uses.
+func grid(n int) []Cell[uint64] {
+	cells := make([]Cell[uint64], n)
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("grid/cell%02d", i)
+		cells[i] = Cell[uint64]{Label: label, Run: func() uint64 {
+			r := sim.NewRNG(sim.SubSeed(1, label))
+			var acc uint64
+			for j := 0; j < 1000; j++ {
+				acc ^= r.Uint64()
+			}
+			return acc
+		}}
+	}
+	return cells
+}
+
+func TestRunIdenticalAtAnyParallelism(t *testing.T) {
+	want := Run(Pool{Workers: 1}, grid(37))
+	for _, w := range []int{0, 2, 3, 8, 64} {
+		got := Run(Pool{Workers: w}, grid(37))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: cell %d = %#x, serial %#x", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunPreservesOrder(t *testing.T) {
+	cells := make([]Cell[int], 100)
+	for i := range cells {
+		cells[i] = Cell[int]{Label: fmt.Sprintf("c%d", i), Run: func() int { return i * i }}
+	}
+	out := Run(Pool{Workers: 8}, cells)
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	if out := Run(Pool{}, []Cell[int]{}); len(out) != 0 {
+		t.Fatal("empty cells produced results")
+	}
+	out := Run(Pool{Workers: 16}, []Cell[int]{{Label: "only", Run: func() int { return 7 }}})
+	if len(out) != 1 || out[0] != 7 {
+		t.Fatalf("single cell = %v", out)
+	}
+}
+
+func TestRunHooksSeeEveryCell(t *testing.T) {
+	var started, done atomic.Int64
+	var mu sync.Mutex
+	labels := map[string]bool{}
+	p := Pool{
+		Workers: 4,
+		OnStart: func(label string) {
+			started.Add(1)
+			mu.Lock()
+			labels[label] = true
+			mu.Unlock()
+		},
+		OnDone: func(string) { done.Add(1) },
+	}
+	Run(p, grid(23))
+	if started.Load() != 23 || done.Load() != 23 {
+		t.Fatalf("hooks fired %d/%d times, want 23/23", started.Load(), done.Load())
+	}
+	if len(labels) != 23 {
+		t.Fatalf("saw %d distinct labels, want 23", len(labels))
+	}
+}
+
+func TestRunPanicCarriesLabel(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom/cell") {
+			t.Fatalf("panic %v does not name the cell", r)
+		}
+	}()
+	cells := []Cell[int]{
+		{Label: "ok", Run: func() int { return 1 }},
+		{Label: "boom/cell", Run: func() int { panic("kaboom") }},
+		{Label: "ok2", Run: func() int { return 2 }},
+	}
+	Run(Pool{Workers: 3}, cells)
+}
+
+func TestMapThreadsLabels(t *testing.T) {
+	items := []string{"AES", "Redis", "gcc"}
+	out := Map(Pool{Workers: 2}, items,
+		func(_ int, s string) string { return "exp/" + s },
+		func(label string, s string) string { return label + "=" + s })
+	want := []string{"exp/AES=AES", "exp/Redis=Redis", "exp/gcc=gcc"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %q, want %q", i, out[i], want[i])
+		}
+	}
+}
+
+func TestPoolWorkerResolution(t *testing.T) {
+	if w := (Pool{Workers: 8}).workers(3); w != 3 {
+		t.Fatalf("workers capped at cells: got %d", w)
+	}
+	if w := (Pool{Workers: -1}).workers(100); w < 1 {
+		t.Fatalf("negative workers resolved to %d", w)
+	}
+	if w := (Pool{Workers: 1}).workers(100); w != 1 {
+		t.Fatalf("serial pool resolved to %d", w)
+	}
+}

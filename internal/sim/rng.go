@@ -99,9 +99,37 @@ func (r *RNG) Norm(mean, stddev float64) float64 {
 }
 
 // Fork derives an independent RNG stream labeled by id. Distinct ids yield
-// decorrelated streams even under the same parent seed.
+// decorrelated streams even under the same parent seed. Fork advances the
+// parent; when the derivation must not depend on call order, use Split.
 func (r *RNG) Fork(id uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (id * 0x9e3779b97f4a7c15))
+}
+
+// SubSeed derives a decorrelated child seed from a parent seed and a label
+// (SplitMix-style: FNV-1a over the label folded into the parent, then the
+// SplitMix64 finalizer). It is a pure function — the same (seed, label)
+// always yields the same child — which is what lets experiment cells be
+// seeded by their canonical label and stay byte-identical no matter which
+// worker runs them, or in what order.
+func SubSeed(seed uint64, label string) uint64 {
+	h := uint64(0xcbf29ce484222325) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 0x100000001b3
+	}
+	z := seed ^ h ^ 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split derives an independent child stream named by label without
+// consuming any of the parent's output: the parent state is untouched, so
+// interleaving Split calls with draws — or reordering Split calls — never
+// changes what either stream produces. Distinct labels yield decorrelated
+// streams; the same label always yields the same stream.
+func (r *RNG) Split(label string) *RNG {
+	return NewRNG(SubSeed(r.s[0]^rotl(r.s[2], 19), label))
 }
 
 // Shuffle permutes the first n indices using swap, Fisher–Yates.

@@ -119,6 +119,64 @@ func TestRNGForkIndependence(t *testing.T) {
 	}
 }
 
+func TestRNGSplitStableUnderOrdering(t *testing.T) {
+	// Split must not consume parent output, and its derivation must not
+	// depend on how many or which other Splits happened first — that is
+	// the property that makes runner cells scheduling-independent.
+	p1 := NewRNG(5)
+	p2 := NewRNG(5)
+	a1 := p1.Split("fig15/AES")
+	_ = p2.Split("fig22/64c")
+	_ = p2.Split("tableII/Redis")
+	a2 := p2.Split("fig15/AES")
+	for i := 0; i < 200; i++ {
+		if a1.Uint64() != a2.Uint64() {
+			t.Fatal("Split stream depends on sibling Split calls")
+		}
+	}
+	// The parent stream is untouched by Split.
+	q := NewRNG(5)
+	for i := 0; i < 200; i++ {
+		if p1.Uint64() != q.Uint64() {
+			t.Fatal("Split perturbed the parent stream")
+		}
+	}
+}
+
+func TestRNGSplitLabelsDecorrelated(t *testing.T) {
+	parent := NewRNG(9)
+	c1 := parent.Split("cell/a")
+	c2 := parent.Split("cell/b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams correlated: %d collisions", same)
+	}
+}
+
+func TestSubSeedPureAndDistinct(t *testing.T) {
+	if SubSeed(1, "x") != SubSeed(1, "x") {
+		t.Fatal("SubSeed not pure")
+	}
+	seen := map[uint64]string{}
+	labels := []string{"", "a", "b", "ab", "ba", "fig15/AES/LightPC",
+		"fig15/AES/LegacyPC", "fig22/8c/0KB", "fig22/8c/2048KB"}
+	for _, l := range labels {
+		s := SubSeed(42, l)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SubSeed collision: %q and %q", prev, l)
+		}
+		seen[s] = l
+	}
+	if SubSeed(1, "x") == SubSeed(2, "x") {
+		t.Fatal("SubSeed ignores the parent seed")
+	}
+}
+
 func TestRNGShuffleIsPermutation(t *testing.T) {
 	f := func(seed uint64, nRaw uint8) bool {
 		n := int(nRaw%50) + 1

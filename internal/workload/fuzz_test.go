@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// fuzzTrace builds a syntactically valid trace image declaring count
+// records and carrying the given payload bytes after the header.
+func fuzzTrace(count uint64, payload []byte) []byte {
+	var b bytes.Buffer
+	binary.Write(&b, binary.LittleEndian, traceHeader{
+		Magic: traceMagic, Version: traceVersion, Count: count,
+	})
+	b.Write(payload)
+	return b.Bytes()
+}
+
+// FuzzReplayParse feeds the trace-file parser arbitrary bytes. The parser
+// must never panic; on a rejected header it must return ErrBadTrace; on an
+// accepted header the replay must yield at most the declared count, flag
+// truncation through Err, and produce only well-formed cacheline refs.
+func FuzzReplayParse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a trace at all"))
+	f.Add(fuzzTrace(0, nil))
+	f.Add(fuzzTrace(3, nil)) // declares more than it carries
+	rec := make([]byte, 12)
+	binary.LittleEndian.PutUint64(rec, 0x1000)
+	rec[8], rec[10], rec[11] = 4, uint8(trace.OpWrite), 1
+	f.Add(fuzzTrace(1, rec))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rp, err := NewReplay("fuzz", bytes.NewReader(b))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("header rejection is not ErrBadTrace: %v", err)
+			}
+			return
+		}
+		declared := rp.Remaining()
+		var yielded uint64
+		for {
+			r, ok := rp.Next()
+			if !ok {
+				break
+			}
+			yielded++
+			if yielded > declared {
+				t.Fatalf("yielded %d refs, header declared %d", yielded, declared)
+			}
+			if r.Access.Size != trace.CacheLineSize {
+				t.Fatalf("ref %d has size %d", yielded, r.Access.Size)
+			}
+		}
+		if rp.Err() == nil && yielded != declared {
+			t.Fatalf("clean stream yielded %d of %d declared refs", yielded, declared)
+		}
+		if rp.Err() != nil && !errors.Is(rp.Err(), ErrBadTrace) {
+			t.Fatalf("mid-stream error is not ErrBadTrace: %v", rp.Err())
+		}
+		if rp.Remaining() != 0 && rp.Err() == nil && yielded == declared {
+			t.Fatalf("Remaining()=%d after exhaustion", rp.Remaining())
+		}
+		// A second Next after exhaustion/error must stay parked.
+		if _, ok := rp.Next(); ok {
+			t.Fatal("Next succeeded after reporting completion")
+		}
+	})
+}
+
+// FuzzTraceRoundTrip re-serializes whatever the parser accepts and checks
+// the write side agrees with the read side on every surviving record.
+func FuzzTraceRoundTrip(f *testing.F) {
+	rec := make([]byte, 12)
+	binary.LittleEndian.PutUint64(rec, 0xABCD)
+	rec[8] = 2
+	f.Add(fuzzTrace(1, rec))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rp, err := NewReplay("fuzz", bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		var refs []Ref
+		for {
+			r, ok := rp.Next()
+			if !ok {
+				break
+			}
+			refs = append(refs, r)
+		}
+		if rp.Err() != nil {
+			return
+		}
+		var out bytes.Buffer
+		n, err := WriteTrace(&out, &sliceGen{refs: refs})
+		if err != nil || n != uint64(len(refs)) {
+			t.Fatalf("re-serialize wrote %d/%d refs: %v", n, len(refs), err)
+		}
+		rp2, err := NewReplay("fuzz2", bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-serialized trace rejected: %v", err)
+		}
+		for i, want := range refs {
+			got, ok := rp2.Next()
+			if !ok {
+				t.Fatalf("re-serialized trace ended at ref %d of %d: %v", i, len(refs), rp2.Err())
+			}
+			if got != want {
+				t.Fatalf("ref %d changed across round trip: %+v vs %+v", i, got, want)
+			}
+		}
+	})
+}
+
+// sliceGen replays an in-memory ref slice as a Generator.
+type sliceGen struct {
+	refs []Ref
+	i    int
+}
+
+func (g *sliceGen) Name() string { return "slice" }
+
+func (g *sliceGen) Remaining() uint64 { return uint64(len(g.refs) - g.i) }
+
+func (g *sliceGen) Next() (Ref, bool) {
+	if g.i >= len(g.refs) {
+		return Ref{}, false
+	}
+	r := g.refs[g.i]
+	g.i++
+	return r, true
+}
