@@ -2,7 +2,7 @@ GO ?= go
 BIN := bin
 LINT := $(BIN)/lightpc-lint
 
-.PHONY: all build test race vet lint bench bench-json fuzz-smoke ci clean
+.PHONY: all build test race vet lint bench bench-json profile perfdiff fuzz-smoke ci clean
 
 all: build
 
@@ -35,13 +35,32 @@ bench:
 bench-json:
 	$(GO) run ./cmd/lightpc-benchseed -out BENCH_SEED.json
 
-# fuzz-smoke: a short native-fuzzing pass over each codec/parser target
-# (the checked-in corpora also replay as plain seeds in `make test`).
+# profile: CPU+heap profile of the quick experiment suite. Inspect with
+#   go tool pprof -top bin/profile-cpu.out
+profile: | $(BIN)
+	$(GO) run ./cmd/lightpc-bench -quick -j 1 \
+		-cpuprofile $(BIN)/profile-cpu.out -memprofile $(BIN)/profile-mem.out > /dev/null
+	@echo "profiles: $(BIN)/profile-cpu.out $(BIN)/profile-mem.out"
+
+$(BIN):
+	mkdir -p $(BIN)
+
+# perfdiff: regenerate a fresh benchmark snapshot and compare it against the
+# checked-in BENCH_SEED.json, flagging >10% time or alloc regressions.
+# Report-only by default; PERFDIFF_FLAGS=-strict makes regressions fail.
+perfdiff: | $(BIN)
+	$(GO) run ./cmd/lightpc-benchseed -out $(BIN)/bench-new.json
+	$(GO) run ./cmd/lightpc-perfdiff -old BENCH_SEED.json -new $(BIN)/bench-new.json $(PERFDIFF_FLAGS)
+
+# fuzz-smoke: a short native-fuzzing pass over each codec/parser target and
+# the event-scheduler differential model (the checked-in corpora also replay
+# as plain seeds in `make test`).
 fuzz-smoke:
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzRecordRoundTrip -fuzztime=2s
 	$(GO) test ./internal/journal -run='^$$' -fuzz=FuzzDecodeRecord -fuzztime=2s
 	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzReplayParse -fuzztime=2s
 	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=2s
+	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzEngineScheduleCancel -fuzztime=2s
 
 ci: build vet lint test race fuzz-smoke
 

@@ -10,6 +10,8 @@
 //	lightpc-bench -samples 200000 # more samples per workload run
 //	lightpc-bench -j 8            # run grid cells on 8 workers
 //	lightpc-bench -progress       # per-cell wall-clock progress on stderr
+//	lightpc-bench -quick -cpuprofile cpu.out   # pprof the suite
+//	lightpc-bench -quick -memprofile mem.out   # heap profile at exit
 //
 // The grid-shaped experiments decompose into independent cells executed
 // across -j workers (internal/runner); the tables are byte-for-byte
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -68,8 +71,38 @@ func main() {
 		format   = flag.String("format", "text", "output format: text | json")
 		jobs     = flag.Int("j", 0, "worker count for grid cells (0 = GOMAXPROCS, 1 = serial)")
 		progress = flag.Bool("progress", false, "report per-cell wall-clock progress on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightpc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lightpc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lightpc-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lightpc-bench: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, n := range experiments.All() {

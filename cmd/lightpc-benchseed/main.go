@@ -2,8 +2,9 @@
 // BENCH_SEED.json: it times the quick experiment suite serially and through
 // the parallel runner (recording the wall-clock speedup alongside the host's
 // GOMAXPROCS, since the speedup is only meaningful relative to the core
-// count it ran on), then runs every `go test -bench` benchmark once and
-// captures each bench's ns/op plus its custom paper metrics.
+// count it ran on), then runs every `go test -bench` benchmark once with
+// -benchmem and captures each bench's ns/op, B/op, allocs/op, plus its
+// custom paper metrics. cmd/lightpc-perfdiff compares two snapshots.
 //
 // Usage:
 //
@@ -24,11 +25,15 @@ import (
 	"repro/internal/experiments"
 )
 
-// benchLine is one parsed `go test -bench` result line.
+// benchLine is one parsed `go test -bench -benchmem` result line. The
+// allocator columns get first-class fields so perf diffs can gate on
+// allocation regressions, not just time.
 type benchLine struct {
-	Name    string             `json:"name"`
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 type seed struct {
@@ -76,10 +81,17 @@ func parseBench(out string) []benchLine {
 			if err != nil {
 				continue
 			}
-			if b.Metrics == nil {
-				b.Metrics = map[string]float64{}
+			switch f[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[f[i+1]] = v
 			}
-			b.Metrics[f[i+1]] = v
 		}
 		lines = append(lines, b)
 	}
@@ -105,7 +117,10 @@ func main() {
 		SpeedupX:   serialMs / parallelMs,
 	}
 
-	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchtime=1x", "-count=1", ".")
+	// Root package: one iteration per figure benchmark (they run whole
+	// experiment suites). internal/sim: the scheduler microbenchmarks, where
+	// allocs/op is the number under regression watch (it must stay 0).
+	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchtime=1x", "-benchmem", "-count=1", ".", "./internal/sim")
 	bout, err := cmd.CombinedOutput()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lightpc-benchseed: go test -bench: %v\n%s", err, bout)

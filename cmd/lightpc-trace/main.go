@@ -21,17 +21,20 @@ import (
 
 func characterize(s workload.Spec, n uint64, seed uint64, dump int) {
 	g := workload.NewSynthetic(s, n, seed)
+	var batch [workload.DefaultBatchSize]workload.Ref
 	i := 0
 	for {
-		r, ok := g.Next()
-		if !ok {
+		filled := g.NextBatch(batch[:])
+		if filled == 0 {
 			break
 		}
-		if i < dump {
-			fmt.Printf("  %-5s addr=%#012x gap=%d\n",
-				r.Access.Op, r.Access.Addr, r.ComputeCycles)
+		for _, r := range batch[:filled] {
+			if i < dump {
+				fmt.Printf("  %-5s addr=%#012x gap=%d\n",
+					r.Access.Op, r.Access.Addr, r.ComputeCycles)
+			}
+			i++
 		}
-		i++
 	}
 	st := g.Stats()
 	fmt.Printf("%-10s %-14s reads=%-8d writes=%-8d r/w=%-6.1f gap=%d cyc  footprint=%dMB\n",
@@ -62,21 +65,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lightpc-trace: %v\n", err)
 			os.Exit(1)
 		}
+		var batch [workload.DefaultBatchSize]workload.Ref
 		reads, writes := 0, 0
 		i := 0
 		for {
-			r, ok := rp.Next()
-			if !ok {
+			filled := rp.NextBatch(batch[:])
+			if filled == 0 {
 				break
 			}
-			if i < *dump {
-				fmt.Printf("  %-5s addr=%#012x gap=%d\n", r.Access.Op, r.Access.Addr, r.ComputeCycles)
-			}
-			i++
-			if r.Access.Op == 0 {
-				reads++
-			} else {
-				writes++
+			for _, r := range batch[:filled] {
+				if i < *dump {
+					fmt.Printf("  %-5s addr=%#012x gap=%d\n", r.Access.Op, r.Access.Addr, r.ComputeCycles)
+				}
+				i++
+				if r.Access.Op == 0 {
+					reads++
+				} else {
+					writes++
+				}
 			}
 		}
 		if err := rp.Err(); err != nil {

@@ -82,6 +82,14 @@ func (r Result) StallFraction(cores int) float64 {
 // Run executes one generator per core against the shared backend, starting
 // at time start, and returns the merged result. Cores are interleaved in
 // simulated-time order so backend contention is realistic.
+//
+// References are pulled in batches (workload.FillBatch): each core
+// prefetches up to workload.DefaultBatchSize references from its own
+// generator and consumes them one by one. Because every core owns an
+// independent generator, prefetching is invisible to results — the
+// reference sequence each core sees, and the simulated-time interleaving
+// across cores, are identical to per-reference pulls; only the number of
+// interface calls changes.
 func Run(cfg Config, start sim.Time, gens []workload.Generator, backend cache.Backend) Result {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 1
@@ -90,13 +98,21 @@ func Run(cfg Config, start sim.Time, gens []workload.Generator, backend cache.Ba
 		cfg.FreqHz = 4e8
 	}
 	type coreState struct {
-		gen  workload.Generator
-		now  sim.Time
-		done bool
+		gen   workload.Generator
+		batch []workload.Ref // window into the shared backing buffer
+		pos   int            // next unconsumed ref
+		fill  int            // valid refs in batch
+		now   sim.Time
+		done  bool
 	}
 	cores := make([]coreState, 0, len(gens))
-	for _, g := range gens {
-		cores = append(cores, coreState{gen: g, now: start})
+	backing := make([]workload.Ref, len(gens)*workload.DefaultBatchSize)
+	for i, g := range gens {
+		cores = append(cores, coreState{
+			gen:   g,
+			batch: backing[i*workload.DefaultBatchSize : (i+1)*workload.DefaultBatchSize],
+			now:   start,
+		})
 	}
 
 	var res Result
@@ -113,12 +129,17 @@ func Run(cfg Config, start sim.Time, gens []workload.Generator, backend cache.Ba
 			}
 		}
 		c := &cores[ci]
-		ref, ok := c.gen.Next()
-		if !ok {
-			c.done = true
-			active--
-			continue
+		if c.pos == c.fill {
+			c.fill = workload.FillBatch(c.gen, c.batch)
+			c.pos = 0
+			if c.fill == 0 {
+				c.done = true
+				active--
+				continue
+			}
 		}
+		ref := c.batch[c.pos]
+		c.pos++
 		// Retire the compute gap plus the memory instruction itself.
 		instr := ref.ComputeCycles + 1
 		res.Instructions += uint64(instr)

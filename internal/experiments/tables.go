@@ -69,11 +69,7 @@ func TableII(o Options) ([]TableIIRow, *report.Table) {
 			// Characterize the workload's own traffic (without the ambient
 			// kernel threads the platform run adds).
 			g := workload.NewSynthetic(s, co.SampleOps, co.Seed)
-			for {
-				if _, ok := g.Next(); !ok {
-					break
-				}
-			}
+			workload.Drain(g)
 			gs := g.Stats()
 			return TableIIRow{
 				Spec:          s,

@@ -118,8 +118,9 @@ type NMEM struct {
 	pmem *pmemdimm.DIMM
 
 	blockBits uint
-	tags      map[uint64]uint64 // cache-set -> tag
-	dirtySet  map[uint64]bool
+	// lines maps cache-set -> tag<<1 | dirty, folding the tag array and
+	// dirty bits into one map so the hot hit path costs a single lookup.
+	lines map[uint64]uint64
 
 	sets uint64
 
@@ -142,8 +143,7 @@ func NewNMEM(d *DRAMController, p *pmemdimm.DIMM, cfg NMEMConfig) *NMEM {
 		dram:      d,
 		pmem:      p,
 		blockBits: 12,
-		tags:      make(map[uint64]uint64),
-		dirtySet:  make(map[uint64]bool),
+		lines:     make(map[uint64]uint64),
 		sets:      cfg.CacheBlocks,
 	}
 }
@@ -155,13 +155,12 @@ func (n *NMEM) setAndTag(addr uint64) (set, tag uint64) {
 
 func (n *NMEM) access(now sim.Time, addr uint64, write bool) sim.Time {
 	set, tag := n.setAndTag(addr)
-	cur, ok := n.tags[set]
-	if ok && cur == tag {
+	line, ok := n.lines[set]
+	curTag := line >> 1
+	if ok && curTag == tag {
 		n.hits.Inc()
 		if write {
-			n.dirtySet[set] = true
-		}
-		if write {
+			n.lines[set] = line | 1
 			return n.dram.Write(now, addr)
 		}
 		return n.dram.Read(now, addr)
@@ -170,9 +169,9 @@ func (n *NMEM) access(now sim.Time, addr uint64, write bool) sim.Time {
 	// the DRAM-side and PMEM-side transfers.
 	n.misses.Inc()
 	start := now
-	if ok && n.dirtySet[set] {
+	if ok && line&1 != 0 {
 		n.writebacks.Inc()
-		n.pmem.Write(start, (cur*n.sets+set)<<n.blockBits)
+		n.pmem.Write(start, (curTag*n.sets+set)<<n.blockBits)
 	}
 	pmemDone := n.pmem.Read(start, addr)
 	var dramDone sim.Time
@@ -181,8 +180,11 @@ func (n *NMEM) access(now sim.Time, addr uint64, write bool) sim.Time {
 	} else {
 		dramDone = n.dram.Read(start, addr)
 	}
-	n.tags[set] = tag
-	n.dirtySet[set] = write
+	line = tag << 1
+	if write {
+		line |= 1
+	}
+	n.lines[set] = line
 	return sim.Max(pmemDone, dramDone)
 }
 

@@ -12,7 +12,7 @@
 package pmdk
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/cache"
 	"repro/internal/sim"
@@ -88,8 +88,12 @@ type TxBackend struct {
 	OpsPerTx int
 
 	logRegion uint64
-	touched   map[uint64]struct{}
-	ops       int
+	// touched (membership) and lines (iteration order) together track the
+	// cachelines stored to in the open transaction. Both are reused across
+	// commits so the steady-state write path allocates nothing.
+	touched map[uint64]struct{}
+	lines   []uint64
+	ops     int
 
 	txCommits  uint64
 	logWrites  uint64
@@ -115,7 +119,10 @@ func (b *TxBackend) Write(now sim.Time, addr uint64) sim.Time {
 	b.logRegion += 64
 	at = b.Inner.Write(at, logBase+b.logRegion%(1<<30))
 	at = b.Inner.Write(at, addr)
-	b.touched[addr/64] = struct{}{}
+	if _, seen := b.touched[addr/64]; !seen {
+		b.touched[addr/64] = struct{}{}
+		b.lines = append(b.lines, addr/64)
+	}
 	b.ops++
 	if b.OpsPerTx > 0 && b.ops >= b.OpsPerTx {
 		at = b.commit(at)
@@ -128,24 +135,25 @@ func (b *TxBackend) Write(now sim.Time, addr uint64) sim.Time {
 func (b *TxBackend) commit(now sim.Time) sim.Time {
 	b.txCommits++
 	n := b.RangeLines
-	if t := len(b.touched); t > n {
+	if t := len(b.lines); t > n {
 		n = t
 	}
 	b.lineFlushs += uint64(n)
 	at := now.Add(sim.Duration(n) * b.FlushPerLine)
-	lines := make([]uint64, 0, len(b.touched))
-	for line := range b.touched {
-		lines = append(lines, line)
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-	for _, line := range lines {
+	// Dirty lines write back in ascending address order (the walk order of
+	// pmem_persist over the VA range).
+	slices.Sort(b.lines)
+	for _, line := range b.lines {
 		at = b.Inner.Write(at, line*64)
 	}
 	at = at.Add(b.FenceCost)
 	if b.Device != nil {
 		at = b.Device.Flush(at)
 	}
-	b.touched = make(map[uint64]struct{})
+	for _, line := range b.lines {
+		delete(b.touched, line)
+	}
+	b.lines = b.lines[:0]
 	b.ops = 0
 	return at
 }

@@ -62,77 +62,134 @@ func DefaultConfig() Config {
 	}
 }
 
-// lru is a tiny ordered map used for both cache tiers.
+// lru is a tiny ordered map used for both cache tiers. Nodes live in a
+// slice-backed arena linked by index, so the steady state allocates
+// nothing: evicted slots are reused in place for the incoming key.
+//
+// Dirtiness is epoch-stamped rather than stored as a bool: a node is dirty
+// iff its dirtyStamp is newer than the tier's last flush epoch. Clearing
+// every dirty bit (Flush) is then a single epoch increment, and the tier
+// maintains a running dirty count so Flush never walks the map.
 type lru struct {
 	cap   int
-	items map[uint64]*lruNode
-	head  *lruNode // most recent
-	tail  *lruNode // least recent
+	items map[uint64]int32
+	nodes []lruNode
+	head  int32 // most recent, -1 if empty
+	tail  int32 // least recent, -1 if empty
+
+	stamp uint64 // flush epoch; node dirty iff dirtyStamp > stamp
+	dirty int    // live dirty nodes
 }
 
 type lruNode struct {
 	key        uint64
-	dirty      bool
-	prev, next *lruNode
+	dirtyStamp uint64
+	prev, next int32
 }
 
 func newLRU(capacity int) *lru {
-	return &lru{cap: capacity, items: make(map[uint64]*lruNode, capacity)}
+	return &lru{
+		cap:   capacity,
+		items: make(map[uint64]int32, capacity),
+		nodes: make([]lruNode, 0, capacity),
+		head:  -1,
+		tail:  -1,
+	}
 }
 
-func (l *lru) unlink(n *lruNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (l *lru) unlink(i int32) {
+	n := &l.nodes[i]
+	if n.prev >= 0 {
+		l.nodes[n.prev].next = n.next
 	} else {
 		l.head = n.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if n.next >= 0 {
+		l.nodes[n.next].prev = n.prev
 	} else {
 		l.tail = n.prev
 	}
-	n.prev, n.next = nil, nil
+	n.prev, n.next = -1, -1
 }
 
-func (l *lru) pushFront(n *lruNode) {
+func (l *lru) pushFront(i int32) {
+	n := &l.nodes[i]
+	n.prev = -1
 	n.next = l.head
-	if l.head != nil {
-		l.head.prev = n
+	if l.head >= 0 {
+		l.nodes[l.head].prev = i
 	}
-	l.head = n
-	if l.tail == nil {
-		l.tail = n
+	l.head = i
+	if l.tail < 0 {
+		l.tail = i
+	}
+}
+
+func (l *lru) isDirty(i int32) bool { return l.nodes[i].dirtyStamp > l.stamp }
+
+// markDirty flags the node dirty in the current epoch.
+func (l *lru) markDirty(i int32) {
+	if n := &l.nodes[i]; n.dirtyStamp <= l.stamp {
+		n.dirtyStamp = l.stamp + 1
+		l.dirty++
 	}
 }
 
 // touch looks the key up and refreshes recency.
-func (l *lru) touch(key uint64) (*lruNode, bool) {
-	n, ok := l.items[key]
+func (l *lru) touch(key uint64) (int32, bool) {
+	i, ok := l.items[key]
 	if !ok {
-		return nil, false
+		return -1, false
 	}
-	l.unlink(n)
-	l.pushFront(n)
-	return n, true
+	l.unlink(i)
+	l.pushFront(i)
+	return i, true
 }
 
-// insert adds key, returning the evicted node (if any).
-func (l *lru) insert(key uint64, dirty bool) (evicted *lruNode) {
-	if n, ok := l.items[key]; ok {
-		n.dirty = n.dirty || dirty
-		l.unlink(n)
-		l.pushFront(n)
-		return nil
+// insert adds key, reporting whether a block was evicted to make room and
+// whether that block was dirty.
+func (l *lru) insert(key uint64, dirty bool) (evictedDirty, evicted bool) {
+	if i, ok := l.items[key]; ok {
+		if dirty {
+			l.markDirty(i)
+		}
+		l.unlink(i)
+		l.pushFront(i)
+		return false, false
 	}
+	var i int32
 	if len(l.items) >= l.cap {
-		evicted = l.tail
-		l.unlink(evicted)
-		delete(l.items, evicted.key)
+		// Reuse the LRU victim's slot for the incoming key.
+		i = l.tail
+		n := &l.nodes[i]
+		evicted = true
+		evictedDirty = n.dirtyStamp > l.stamp
+		if evictedDirty {
+			l.dirty--
+		}
+		l.unlink(i)
+		delete(l.items, n.key)
+		n.key = key
+		n.dirtyStamp = 0
+	} else {
+		i = int32(len(l.nodes))
+		l.nodes = append(l.nodes, lruNode{key: key, prev: -1, next: -1})
 	}
-	n := &lruNode{key: key, dirty: dirty}
-	l.items[key] = n
-	l.pushFront(n)
-	return evicted
+	if dirty {
+		l.markDirty(i)
+	}
+	l.items[key] = i
+	l.pushFront(i)
+	return evictedDirty, evicted
+}
+
+// flushAll clears every dirty bit in O(1) by advancing the epoch and
+// returns how many nodes were dirty.
+func (l *lru) flushAll() int {
+	n := l.dirty
+	l.stamp++
+	l.dirty = 0
+	return n
 }
 
 func (l *lru) len() int { return len(l.items) }
@@ -188,12 +245,12 @@ func (d *DIMM) firmware() sim.Duration {
 
 // evictDirty accounts a dirty eviction: the media program drains in the
 // background (it occupies the LSQ, not the requester's critical path).
-func (d *DIMM) evictDirty(n *lruNode) {
-	if n == nil {
+func (d *DIMM) evictDirty(dirty, evicted bool) {
+	if !evicted {
 		return
 	}
 	d.stats.Evictions++
-	if n.dirty {
+	if dirty {
 		d.stats.MediaWrites++
 		d.busyUntil = d.busyUntil.Add(d.cfg.MediaWrite / 4)
 	}
@@ -244,10 +301,10 @@ func (d *DIMM) Write(now sim.Time, addr uint64) sim.Time {
 
 	mblock := addr / MediaBlock
 	bblock := addr / BufferBlock
-	if n, ok := d.sram.touch(mblock); ok {
+	if i, ok := d.sram.touch(mblock); ok {
 		// Combined into the open 256 B block.
 		d.stats.CombinedWrites++
-		n.dirty = true
+		d.sram.markDirty(i)
 	} else {
 		// Allocate in SRAM: the ack pays the allocation lookup; the
 		// read-modify and DRAM-tier bookkeeping happen off the ack path
@@ -272,24 +329,15 @@ func (d *DIMM) Write(now sim.Time, addr uint64) sim.Time {
 
 // Flush writes every dirty block back to the media — the device-side work
 // behind pmem_persist/eADR-style synchronization. It returns the completion
-// time.
+// time. Both tiers clear in O(1) via their flush epochs; only the DRAM
+// tier's dirty 4 KB blocks cost media programs (the SRAM tier is inclusive,
+// so its lines land inside those blocks).
 func (d *DIMM) Flush(now sim.Time) sim.Time {
-	lat := sim.Duration(0)
-	for _, n := range d.sram.items {
-		if n.dirty {
-			n.dirty = false
-		}
-	}
-	dirty := 0
-	for _, n := range d.dram.items {
-		if n.dirty {
-			n.dirty = false
-			dirty++
-		}
-	}
+	d.sram.flushAll()
+	dirty := d.dram.flushAll()
 	// Dirty 4 KB blocks stream to the media; overlap factor 4 models the
 	// DIMM's internal banking.
-	lat = sim.Duration(dirty) * d.cfg.MediaWrite / 4
+	lat := sim.Duration(dirty) * d.cfg.MediaWrite / 4
 	d.stats.MediaWrites += uint64(dirty)
 	done := sim.Max(now, d.busyUntil).Add(lat)
 	d.busyUntil = done

@@ -148,16 +148,18 @@ func TestAccessDispatch(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	l := newLRU(2)
-	if ev := l.insert(1, false); ev != nil {
+	if _, ev := l.insert(1, false); ev {
 		t.Fatal("no eviction expected")
 	}
 	l.insert(2, false)
-	ev := l.insert(3, false)
-	if ev == nil || ev.key != 1 {
-		t.Fatalf("wrong eviction: %+v", ev)
+	if _, ev := l.insert(3, false); !ev {
+		t.Fatal("expected an eviction at capacity")
 	}
 	if _, ok := l.touch(1); ok {
 		t.Fatal("evicted key still present")
+	}
+	if _, ok := l.touch(2); !ok {
+		t.Fatal("surviving key lost")
 	}
 	if l.len() != 2 {
 		t.Fatalf("len = %d", l.len())
@@ -169,9 +171,12 @@ func TestLRUTouchRefreshesRecency(t *testing.T) {
 	l.insert(1, false)
 	l.insert(2, false)
 	l.touch(1) // 2 becomes LRU
-	ev := l.insert(3, false)
-	if ev == nil || ev.key != 2 {
-		t.Fatalf("LRU order wrong, evicted %+v", ev)
+	l.insert(3, false)
+	if _, ok := l.touch(2); ok {
+		t.Fatal("LRU order wrong: 2 should have been evicted")
+	}
+	if _, ok := l.touch(1); !ok {
+		t.Fatal("LRU order wrong: 1 should have survived")
 	}
 }
 
@@ -179,12 +184,41 @@ func TestLRUDuplicateInsertKeepsDirty(t *testing.T) {
 	l := newLRU(2)
 	l.insert(1, true)
 	l.insert(1, false)
-	n, _ := l.touch(1)
-	if !n.dirty {
+	i, ok := l.touch(1)
+	if !ok || !l.isDirty(i) {
 		t.Fatal("dirty bit lost on duplicate insert")
 	}
 	if l.len() != 1 {
 		t.Fatalf("duplicate insert grew the LRU: %d", l.len())
+	}
+}
+
+func TestLRUDirtyCountAndFlush(t *testing.T) {
+	l := newLRU(2)
+	l.insert(1, true)
+	l.insert(2, false)
+	if l.dirty != 1 {
+		t.Fatalf("dirty count = %d, want 1", l.dirty)
+	}
+	// Evicting the dirty block must decrement the count.
+	l.insert(3, true) // evicts 1 (dirty), inserts 3 dirty
+	if l.dirty != 1 {
+		t.Fatalf("dirty count after dirty eviction = %d, want 1", l.dirty)
+	}
+	if n := l.flushAll(); n != 1 {
+		t.Fatalf("flushAll = %d, want 1", n)
+	}
+	if l.dirty != 0 {
+		t.Fatalf("dirty count after flush = %d, want 0", l.dirty)
+	}
+	if i, ok := l.touch(3); !ok || l.isDirty(i) {
+		t.Fatal("flush must clear dirty bits without evicting")
+	}
+	// Re-dirtying after a flush works in the new epoch.
+	i, _ := l.touch(3)
+	l.markDirty(i)
+	if l.dirty != 1 || !l.isDirty(i) {
+		t.Fatal("markDirty after flush failed")
 	}
 }
 

@@ -1,69 +1,84 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
+import "fmt"
+
+// EventID is a generation-counted handle to a scheduled event. The zero
+// value (NoEvent) never names a live event, and a handle goes stale the
+// moment its event fires or its cancellation is collected, so Cancel stays
+// safe — a no-op — no matter how long the caller holds on to it or how many
+// times the underlying arena slot has been reused since.
+//
+// Layout: the low 32 bits carry the arena slot index plus one (so the zero
+// ID is invalid), the high 32 bits carry the slot's generation at
+// scheduling time.
+type EventID uint64
+
+// NoEvent is the invalid handle; Cancel(NoEvent) is a no-op.
+const NoEvent EventID = 0
+
+func makeEventID(idx int32, gen uint32) EventID {
+	return EventID(uint64(gen)<<32 | uint64(uint32(idx)+1))
+}
+
+func (id EventID) split() (idx int32, gen uint32, ok bool) {
+	lo := uint32(id)
+	if lo == 0 {
+		return 0, 0, false
+	}
+	return int32(lo - 1), uint32(id >> 32), true
+}
+
+// slot states. A slot is free (on the free list), queued (live in the heap
+// or immediate ring), or canceled (still in a queue structure but dead; it
+// is collected and freed when it reaches the front).
+const (
+	slotFree uint8 = iota
+	slotQueued
+	slotCanceled
 )
 
-// Event is a unit of scheduled work. The callback runs when simulated time
-// reaches the event's deadline.
-type Event struct {
-	at       Time
-	seq      uint64 // tiebreaker: FIFO among same-timestamp events
-	index    int    // heap index, -1 when not queued
-	canceled bool
-	fn       func(now Time)
-	label    string
-}
-
-// At reports the time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
-
-// Label reports the diagnostic label given at scheduling time.
-func (e *Event) Label() string { return e.label }
-
-// eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// eventSlot is one arena entry. Events are never individually heap
+// allocated: the arena is a flat slice reused through a free list, so a
+// steady-state Schedule/dispatch churn allocates nothing.
+type eventSlot struct {
+	at    Time
+	seq   uint64 // tiebreaker: FIFO among same-timestamp events
+	fn    func(now Time)
+	label string
+	gen   uint32
+	state uint8
+	next  int32 // free-list link
 }
 
 // Engine is a deterministic discrete-event simulator. It is not safe for
 // concurrent use; the whole simulation is single-threaded by design so that
 // results are bit-reproducible for a given seed.
+//
+// Internally it keeps a pooled event arena indexed by a 4-ary min-heap of
+// slot indices ordered by (time, seq), plus a FIFO ring that fast-paths
+// zero-delay events (see peek for why the split preserves the exact global
+// dispatch order).
 type Engine struct {
 	now    Time
-	queue  eventQueue
 	seq    uint64
 	events uint64 // total dispatched
+	live   int    // queued and not canceled
+
+	slots []eventSlot
+	free  int32 // head of the free-slot list, -1 when empty
+
+	heap []int32 // 4-ary min-heap of slot indices, keyed by (at, seq)
+
+	// imm is the immediate ring: events scheduled for the current
+	// timestamp. Entries are appended in seq order and the engine clock
+	// never moves backwards, so the ring is already sorted by (at, seq)
+	// and its head is its minimum — no sift needed.
+	imm     []int32
+	immHead int
 }
 
 // NewEngine returns an engine positioned at time zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{free: -1} }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -71,13 +86,47 @@ func (e *Engine) Now() Time { return e.now }
 // Dispatched reports how many events have run so far.
 func (e *Engine) Dispatched() uint64 { return e.events }
 
-// Pending reports how many events are queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports how many live events are queued. Canceled events awaiting
+// collection are not counted.
+func (e *Engine) Pending() int { return e.live }
+
+// alloc takes a slot off the free list (or grows the arena) and fills it.
+func (e *Engine) alloc(at Time, label string, fn func(now Time)) int32 {
+	var idx int32
+	if e.free >= 0 {
+		idx = e.free
+		e.free = e.slots[idx].next
+	} else {
+		e.slots = append(e.slots, eventSlot{})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.at = at
+	s.seq = e.seq
+	s.fn = fn
+	s.label = label
+	s.state = slotQueued
+	e.seq++
+	e.live++
+	return idx
+}
+
+// release returns a slot to the free list, bumping its generation so every
+// outstanding EventID naming it goes stale.
+func (e *Engine) release(idx int32) {
+	s := &e.slots[idx]
+	s.fn = nil
+	s.label = ""
+	s.gen++
+	s.state = slotFree
+	s.next = e.free
+	e.free = idx
+}
 
 // Schedule queues fn to run after delay. It returns the event handle, which
 // may be canceled. A negative delay is an error in the caller; it panics to
 // surface the bug immediately.
-func (e *Engine) Schedule(delay Duration, label string, fn func(now Time)) *Event {
+func (e *Engine) Schedule(delay Duration, label string, fn func(now Time)) EventID {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for event %q", delay, label))
 	}
@@ -85,44 +134,122 @@ func (e *Engine) Schedule(delay Duration, label string, fn func(now Time)) *Even
 }
 
 // ScheduleAt queues fn to run at the absolute timestamp at, which must not
-// be in the simulated past.
-func (e *Engine) ScheduleAt(at Time, label string, fn func(now Time)) *Event {
+// be in the simulated past. Events landing exactly on the current timestamp
+// take a heap-free fast path: a newly scheduled event carries the largest
+// sequence number so far, so appending it to the immediate ring keeps the
+// ring sorted by (time, seq).
+func (e *Engine) ScheduleAt(at Time, label string, fn func(now Time)) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", label, at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, label: label}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	idx := e.alloc(at, label, fn)
+	if at == e.now {
+		e.imm = append(e.imm, idx)
+	} else {
+		e.heapPush(idx)
+	}
+	return makeEventID(idx, e.slots[idx].gen)
 }
 
-// Cancel removes a scheduled event. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
+// Cancel removes a scheduled event. Canceling an already-fired,
+// already-canceled, or zero handle is a no-op. Cancellation is lazy: the
+// slot is marked dead and collected when it reaches the front of its queue,
+// so Cancel is O(1) and never disturbs heap order.
+func (e *Engine) Cancel(id EventID) {
+	idx, gen, ok := id.split()
+	if !ok || int(idx) >= len(e.slots) {
+		return
+	}
+	s := &e.slots[idx]
+	if s.gen != gen || s.state != slotQueued {
+		return
+	}
+	s.state = slotCanceled
+	s.fn = nil // release the closure now; the slot itself is collected later
+	e.live--
+}
+
+// top reports the queue structure holding the global minimum (time, seq):
+// the heap root or the immediate-ring head. ok is false when both are
+// empty.
+func (e *Engine) top() (idx int32, fromImm, ok bool) {
+	hasHeap := len(e.heap) > 0
+	hasImm := e.immHead < len(e.imm)
+	switch {
+	case !hasHeap && !hasImm:
+		return 0, false, false
+	case !hasHeap:
+		return e.imm[e.immHead], true, true
+	case !hasImm:
+		return e.heap[0], false, true
+	}
+	h, i := e.heap[0], e.imm[e.immHead]
+	if e.less(h, i) {
+		return h, false, true
+	}
+	return i, true, true
+}
+
+// popTop removes the entry top reported.
+func (e *Engine) popTop(fromImm bool) {
+	if fromImm {
+		e.immHead++
+		if e.immHead == len(e.imm) {
+			e.imm = e.imm[:0]
+			e.immHead = 0
+		} else if e.immHead > 32 && e.immHead*2 >= len(e.imm) {
+			// Keep the ring from growing without bound when it never
+			// fully drains (e.g. dispatch loops that keep re-arming
+			// immediate work).
+			n := copy(e.imm, e.imm[e.immHead:])
+			e.imm = e.imm[:n]
+			e.immHead = 0
 		}
 		return
 	}
-	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
+	e.heapPop()
+}
+
+// peek skips to the earliest live event, collecting canceled slots along
+// the way, and reports its slot index without removing it. It is the single
+// place canceled events are reaped — Step and RunUntil both go through it.
+func (e *Engine) peek() (idx int32, fromImm, ok bool) {
+	for {
+		idx, fromImm, ok = e.top()
+		if !ok {
+			return 0, false, false
+		}
+		if e.slots[idx].state == slotCanceled {
+			e.popTop(fromImm)
+			e.release(idx)
+			continue
+		}
+		return idx, fromImm, true
+	}
+}
+
+// dispatch pops the peeked minimum and runs it. The slot is released before
+// the callback runs so nested Schedule calls can reuse it.
+func (e *Engine) dispatch(idx int32, fromImm bool) {
+	e.popTop(fromImm)
+	s := &e.slots[idx]
+	at, fn := s.at, s.fn
+	e.release(idx)
+	e.live--
+	e.now = at
+	e.events++
+	fn(e.now)
 }
 
 // Step runs the single earliest event. It reports false when the queue is
 // empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.events++
-		ev.fn(e.now)
-		return true
+	idx, fromImm, ok := e.peek()
+	if !ok {
+		return false
 	}
-	return false
+	e.dispatch(idx, fromImm)
+	return true
 }
 
 // Run dispatches events until the queue drains.
@@ -134,17 +261,12 @@ func (e *Engine) Run() {
 // RunUntil dispatches events with timestamps at or before deadline, then
 // advances the clock to deadline (if the clock has not already passed it).
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.queue) > 0 {
-		// Peek.
-		next := e.queue[0]
-		if next.canceled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > deadline {
+	for {
+		idx, fromImm, ok := e.peek()
+		if !ok || e.slots[idx].at > deadline {
 			break
 		}
-		e.Step()
+		e.dispatch(idx, fromImm)
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -153,3 +275,60 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // RunFor advances simulated time by d, dispatching due events.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// less orders slots by (time, seq).
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// The heap is 4-ary: shallower than a binary heap (fewer cache lines
+// touched per sift) and free of the container/heap interface boxing that
+// the old *Event implementation paid on every Push/Pop.
+
+func (e *Engine) heapPush(idx int32) {
+	e.heap = append(e.heap, idx)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) heapPop() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(e.heap[c], e.heap[min]) {
+				min = c
+			}
+		}
+		if !e.less(e.heap[min], e.heap[i]) {
+			break
+		}
+		e.heap[i], e.heap[min] = e.heap[min], e.heap[i]
+		i = min
+	}
+}

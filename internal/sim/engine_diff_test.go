@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// This file pins the arena scheduler against a trivially-correct reference:
+// the pre-arena implementation — pointer events in a binary container/heap
+// with eager cancellation. Both engines consume the same randomized
+// schedule/cancel/run scripts; any divergence in dispatch order, dispatch
+// timestamps, clock position, or pending counts is a bug in the arena.
+
+// refEvent mirrors the old *Event node.
+type refEvent struct {
+	at       Time
+	seq      uint64
+	index    int
+	canceled bool
+	fn       func(now Time)
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *refQueue) Push(x any) {
+	e := x.(*refEvent)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// refEngine is the reference scheduler.
+type refEngine struct {
+	now   Time
+	seq   uint64
+	queue refQueue
+}
+
+func (r *refEngine) schedule(delay Duration, fn func(Time)) *refEvent {
+	ev := &refEvent{at: r.now.Add(delay), seq: r.seq, fn: fn}
+	r.seq++
+	heap.Push(&r.queue, ev)
+	return ev
+}
+
+func (r *refEngine) cancel(ev *refEvent) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&r.queue, ev.index)
+}
+
+func (r *refEngine) step() bool {
+	if len(r.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&r.queue).(*refEvent)
+	r.now = ev.at
+	ev.fn(r.now)
+	return true
+}
+
+func (r *refEngine) runUntil(deadline Time) {
+	for len(r.queue) > 0 && r.queue[0].at <= deadline {
+		r.step()
+	}
+	if r.now < deadline {
+		r.now = deadline
+	}
+}
+
+// dispatchRec is one observed dispatch: which schedule-order id fired, at
+// what timestamp.
+type dispatchRec struct {
+	id int
+	at Time
+}
+
+// scriptOp codes for the randomized interleavings and the fuzz target.
+// Each op consumes two bytes: (code, arg).
+const (
+	opSchedule = iota // delay = arg ns; arg with high bit set → also arms a nested child on fire
+	opCancel          // target = arg % scheduled-so-far
+	opStep
+	opRunUntil // advance clock by arg ns
+	opCount
+)
+
+// scriptEngine adapts one of the two engines to the script runner: both
+// sides assign ids in schedule-call order, so as long as the engines agree
+// on dispatch order, id k names the same logical event in each.
+type scriptEngine struct {
+	schedule func(delay Duration, fn func(Time))
+	cancel   func(k int)
+	step     func() bool
+	runUntil func(deadline Time)
+	now      func() Time
+	pending  func() int
+}
+
+func arenaScript(e *Engine) *scriptEngine {
+	var ids []EventID
+	s := &scriptEngine{
+		step:     e.Step,
+		runUntil: e.RunUntil,
+		now:      e.Now,
+		pending:  e.Pending,
+	}
+	s.schedule = func(delay Duration, fn func(Time)) {
+		ids = append(ids, e.Schedule(delay, "s", fn))
+	}
+	s.cancel = func(k int) {
+		if len(ids) > 0 {
+			e.Cancel(ids[k%len(ids)])
+		}
+	}
+	return s
+}
+
+func refScript(r *refEngine) *scriptEngine {
+	var refs []*refEvent
+	s := &scriptEngine{
+		step:     r.step,
+		runUntil: r.runUntil,
+		now:      func() Time { return r.now },
+		pending:  func() int { return len(r.queue) },
+	}
+	s.schedule = func(delay Duration, fn func(Time)) {
+		refs = append(refs, r.schedule(delay, fn))
+	}
+	s.cancel = func(k int) {
+		if len(refs) > 0 {
+			r.cancel(refs[k%len(refs)])
+		}
+	}
+	return s
+}
+
+// runScript drives the arena engine and the reference through the same op
+// sequence, checking clock and pending counts in lockstep and the complete
+// dispatch history at the end.
+func runScript(t *testing.T, ops []byte) {
+	t.Helper()
+	e := NewEngine()
+	r := &refEngine{}
+	as := arenaScript(e)
+	rs := refScript(r)
+
+	// Interleave the two interpreters op by op so clock/pending divergence
+	// is caught at the op that introduced it.
+	checkpoints := func(i int) {
+		if e.Now() != r.now {
+			t.Fatalf("op %d: now=%v, reference %v", i, e.Now(), r.now)
+		}
+		if e.Pending() != len(r.queue) {
+			t.Fatalf("op %d: Pending=%d, reference %d", i, e.Pending(), len(r.queue))
+		}
+	}
+	var af, rf []dispatchRec
+	playLockstep(as, rs, ops, &af, &rf, checkpoints)
+
+	if len(af) != len(rf) {
+		t.Fatalf("dispatched %d events, reference %d", len(af), len(rf))
+	}
+	for i := range af {
+		if af[i] != rf[i] {
+			t.Fatalf("dispatch %d: got id=%d at=%v, reference id=%d at=%v",
+				i, af[i].id, af[i].at, rf[i].id, rf[i].at)
+		}
+	}
+	if e.Now() != r.now {
+		t.Fatalf("final now=%v, reference %v", e.Now(), r.now)
+	}
+}
+
+// playLockstep is play() with both engines advanced one op at a time.
+func playLockstep(as, rs *scriptEngine, ops []byte, af, rf *[]dispatchRec, check func(i int)) {
+	aNext, rNext := 0, 0
+	var aArm, rArm func(id int, nested bool, childDelay Duration) func(Time)
+	aArm = func(id int, nested bool, childDelay Duration) func(Time) {
+		return func(now Time) {
+			*af = append(*af, dispatchRec{id: id, at: now})
+			if nested {
+				child := aNext
+				aNext++
+				as.schedule(childDelay, aArm(child, false, 0))
+			}
+		}
+	}
+	rArm = func(id int, nested bool, childDelay Duration) func(Time) {
+		return func(now Time) {
+			*rf = append(*rf, dispatchRec{id: id, at: now})
+			if nested {
+				child := rNext
+				rNext++
+				rs.schedule(childDelay, rArm(child, false, 0))
+			}
+		}
+	}
+	for i := 0; i+1 < len(ops); i += 2 {
+		arg := ops[i+1]
+		switch ops[i] % opCount {
+		case opSchedule:
+			nested := arg&0x80 != 0
+			d := Duration(arg&0x7f) * Nanosecond
+			aid := aNext
+			aNext++
+			as.schedule(d, aArm(aid, nested, d/2))
+			rid := rNext
+			rNext++
+			rs.schedule(d, rArm(rid, nested, d/2))
+		case opCancel:
+			as.cancel(int(arg))
+			rs.cancel(int(arg))
+		case opStep:
+			as.step()
+			rs.step()
+		case opRunUntil:
+			ad := as.now().Add(Duration(arg) * Nanosecond)
+			rd := rs.now().Add(Duration(arg) * Nanosecond)
+			as.runUntil(ad)
+			rs.runUntil(rd)
+		}
+		check(i)
+	}
+	for as.step() {
+	}
+	for rs.step() {
+	}
+}
+
+// TestEngineMatchesReference runs randomized schedule/cancel/step/run
+// interleavings — with nested mid-dispatch scheduling mixed in — through
+// both schedulers.
+func TestEngineMatchesReference(t *testing.T) {
+	rng := NewRNG(42)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 * (rng.Intn(200) + 1)
+		ops := make([]byte, n)
+		for i := range ops {
+			ops[i] = byte(rng.Uint64())
+		}
+		runScript(t, ops)
+	}
+}
+
+// FuzzEngineScheduleCancel feeds arbitrary op scripts through both
+// schedulers; the differential oracle needs no hand-written expectations.
+func FuzzEngineScheduleCancel(f *testing.F) {
+	f.Add([]byte{0, 5, 0, 5, 2, 0, 1, 0, 3, 10})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 2, 0, 2, 0})           // immediate-ring churn
+	f.Add([]byte{0, 9, 1, 0, 1, 0, 3, 255, 0, 0})         // double cancel then drain
+	f.Add([]byte{0, 0x85, 0, 1, 2, 0, 2, 0, 2, 0})        // nested scheduling
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 1, 1, 2, 0, 2, 0})     // cancel mid-queue
+	f.Add([]byte{0, 0x80, 0, 0x80, 3, 0, 1, 0, 3, 4, 20}) // nested immediates + cancel
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		runScript(t, ops)
+	})
+}

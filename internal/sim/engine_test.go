@@ -45,7 +45,87 @@ func TestEngineCancel(t *testing.T) {
 	if ran {
 		t.Fatal("canceled event ran")
 	}
-	e.Cancel(nil) // nil-safe
+	e.Cancel(NoEvent) // zero-handle-safe
+}
+
+// Pending must not count canceled events, even before the lazy-cancel
+// collection pops them off the queue.
+func TestEnginePendingExcludesCanceled(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(Nanosecond, "a", func(Time) {})
+	e.Schedule(2*Nanosecond, "b", func(Time) {})
+	c := e.Schedule(3*Nanosecond, "c", func(Time) {})
+	e.Cancel(a)
+	e.Cancel(c)
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1 (canceled events must not count)", got)
+	}
+	e.Run()
+	if e.Pending() != 0 || e.Dispatched() != 1 {
+		t.Fatalf("after Run: Pending=%d Dispatched=%d", e.Pending(), e.Dispatched())
+	}
+}
+
+// A stale handle — one whose arena slot has been reused by a later event —
+// must not cancel the new occupant.
+func TestEngineStaleHandleIsNoOp(t *testing.T) {
+	e := NewEngine()
+	old := e.Schedule(Nanosecond, "old", func(Time) {})
+	e.Cancel(old)
+	e.Run() // collects the canceled slot, freeing it for reuse
+
+	ran := false
+	fresh := e.Schedule(Nanosecond, "fresh", func(Time) { ran = true })
+	e.Cancel(old) // stale: generation mismatch, must be a no-op
+	e.Run()
+	if !ran {
+		t.Fatal("stale Cancel killed a live event")
+	}
+	e.Cancel(fresh) // already fired: also a no-op
+}
+
+// Zero-delay events take the immediate-ring fast path; they must still
+// dispatch in global (time, seq) order against heap-resident events.
+func TestEngineImmediateOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(Nanosecond, "later", func(now Time) { order = append(order, "later") })
+	e.Schedule(0, "imm1", func(now Time) {
+		order = append(order, "imm1")
+		// Nested immediate event at the same timestamp: runs after imm2
+		// (scheduled earlier) but before "later".
+		e.Schedule(0, "imm3", func(Time) { order = append(order, "imm3") })
+	})
+	e.Schedule(0, "imm2", func(Time) { order = append(order, "imm2") })
+	e.Run()
+	want := []string{"imm1", "imm2", "imm3", "later"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != Time(Nanosecond) {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+// Canceling an immediate event before it runs must work through the ring
+// path too.
+func TestEngineCancelImmediate(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	id := e.Schedule(0, "imm", func(Time) { ran = true })
+	e.Cancel(id)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if ran {
+		t.Fatal("canceled immediate event ran")
+	}
 }
 
 func TestEngineNestedScheduling(t *testing.T) {

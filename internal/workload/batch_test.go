@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// batchEquals drives two identically-constructed generators — one through
+// Next, one through NextBatch with awkward buffer sizes — and requires
+// identical reference sequences, Remaining trajectories, and final Stats.
+func batchEquals(t *testing.T, name string, mk func() Generator) {
+	t.Helper()
+	serial := mk()
+	batched := mk()
+	bs, ok := batched.(BatchSource)
+	if !ok {
+		t.Fatalf("%s: generator does not implement BatchSource", name)
+	}
+
+	// Deliberately odd sizes so batches straddle every internal phase
+	// boundary (STREAM element expansion, read/write mix switches, ...).
+	sizes := []int{1, 3, 7, 64, 2, 128, 5}
+	var buf [128]Ref
+	si := 0
+	var got []Ref
+	for {
+		n := bs.NextBatch(buf[:sizes[si%len(sizes)]])
+		si++
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+
+	var want []Ref
+	for {
+		r, ok := serial.Next()
+		if !ok {
+			break
+		}
+		want = append(want, r)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("%s: batched emitted %d refs, serial %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: ref %d diverged: batched %+v, serial %+v", name, i, got[i], want[i])
+		}
+	}
+	if br, sr := batched.Remaining(), serial.Remaining(); br != sr || br != 0 {
+		t.Fatalf("%s: Remaining after drain: batched %d, serial %d", name, br, sr)
+	}
+
+	type statser interface{ Stats() trace.Stats }
+	if sg, ok := serial.(statser); ok {
+		bg := batched.(statser)
+		if sg.Stats() != bg.Stats() {
+			t.Fatalf("%s: stats diverged: batched %+v, serial %+v", name, bg.Stats(), sg.Stats())
+		}
+	}
+}
+
+func TestNextBatchMatchesNext(t *testing.T) {
+	spec, _ := ByName("bzip2")
+	mt, _ := ByName("Redis")
+	cases := []struct {
+		name string
+		mk   func() Generator
+	}{
+		{"synthetic", func() Generator { return NewSynthetic(spec, 3000, 7) }},
+		{"synthetic-multithread", func() Generator { return NewSynthetic(mt, 3000, 9) }},
+		{"background", func() Generator { return NewBackground(2500, 11) }},
+		{"stream-copy", func() Generator { return NewStream(Copy, 1000) }},
+		{"stream-triad", func() Generator { return NewStream(Triad, 1000) }},
+	}
+	for _, c := range cases {
+		batchEquals(t, c.name, c.mk)
+	}
+}
+
+func TestReplayNextBatchMatchesNext(t *testing.T) {
+	var rec bytes.Buffer
+	if _, err := WriteTrace(&rec, NewSynthetic(mustSpecB(t, "gcc"), 2000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	data := rec.Bytes()
+	mk := func() Generator {
+		rp, err := NewReplay("t", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rp
+	}
+	batchEquals(t, "replay", mk)
+}
+
+// FillBatch must behave the same whether or not the generator implements
+// BatchSource.
+func TestFillBatchFallback(t *testing.T) {
+	spec := mustSpecB(t, "mcf")
+	native := NewSynthetic(spec, 500, 5)
+	wrapped := nextOnly{NewSynthetic(spec, 500, 5)}
+
+	var a, b [17]Ref
+	for {
+		na := FillBatch(native, a[:])
+		nb := FillBatch(wrapped, b[:])
+		if na != nb {
+			t.Fatalf("fill lengths diverged: %d vs %d", na, nb)
+		}
+		if na == 0 {
+			break
+		}
+		for i := 0; i < na; i++ {
+			if a[i] != b[i] {
+				t.Fatalf("ref %d diverged: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// nextOnly hides the BatchSource implementation to force the fallback.
+type nextOnly struct{ g Generator }
+
+func (n nextOnly) Name() string      { return n.g.Name() }
+func (n nextOnly) Next() (Ref, bool) { return n.g.Next() }
+func (n nextOnly) Remaining() uint64 { return n.g.Remaining() }
+
+func mustSpecB(t *testing.T, name string) Spec {
+	t.Helper()
+	s, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown spec %q", name)
+	}
+	return s
+}

@@ -98,6 +98,34 @@ func (s *Stream) Remaining() uint64 {
 // Stats exposes traffic characterization.
 func (s *Stream) Stats() trace.Stats { return s.stats }
 
+// emitRead builds a load reference and accounts it.
+func (s *Stream) emitRead(base, off uint64, hit bool) Ref {
+	s.stats.Reads++
+	s.stats.DReadTotal++
+	if hit {
+		s.stats.DReadHits++
+	}
+	return Ref{
+		Access:        trace.Access{Op: trace.OpRead, Addr: base + off, Size: elementSize},
+		L1Hit:         hit,
+		ComputeCycles: 1, // tight FP loop
+	}
+}
+
+// emitWrite builds a store reference and accounts it.
+func (s *Stream) emitWrite(base, off uint64, hit bool) Ref {
+	s.stats.Writes++
+	s.stats.DWriteTotal++
+	if hit {
+		s.stats.DWriteHits++
+	}
+	return Ref{
+		Access:        trace.Access{Op: trace.OpWrite, Addr: base + off, Size: elementSize},
+		L1Hit:         hit,
+		ComputeCycles: 1,
+	}
+}
+
 // Next emits one reference. Element iterations expand to their loads then
 // the store; line-crossing references are pre-decided misses.
 func (s *Stream) Next() (Ref, bool) {
@@ -105,51 +133,29 @@ func (s *Stream) Next() (Ref, bool) {
 		return Ref{}, false
 	}
 	off := s.i * elementSize
-	newLine := s.i%elemsPerLine == 0
+	hit := s.i%elemsPerLine != 0
 	var ref Ref
-	ref.ComputeCycles = 1 // tight FP loop
-
-	emitRead := func(base uint64) {
-		s.stats.Reads++
-		s.stats.DReadTotal++
-		hit := !newLine
-		if hit {
-			s.stats.DReadHits++
-		}
-		ref.Access = trace.Access{Op: trace.OpRead, Addr: base + off, Size: elementSize}
-		ref.L1Hit = hit
-	}
-	emitWrite := func(base uint64) {
-		s.stats.Writes++
-		s.stats.DWriteTotal++
-		hit := !newLine
-		if hit {
-			s.stats.DWriteHits++
-		}
-		ref.Access = trace.Access{Op: trace.OpWrite, Addr: base + off, Size: elementSize}
-		ref.L1Hit = hit
-	}
 
 	switch s.kernel {
 	case Copy, Scale: // c[i] = (q*)a[i]
 		if s.phase == 0 {
-			emitRead(s.a)
+			ref = s.emitRead(s.a, off, hit)
 			s.phase = 1
 		} else {
-			emitWrite(s.c)
+			ref = s.emitWrite(s.c, off, hit)
 			s.phase = 0
 			s.i++
 		}
 	case Add, Triad: // c[i] = a[i] + (q*)b[i]
 		switch s.phase {
 		case 0:
-			emitRead(s.a)
+			ref = s.emitRead(s.a, off, hit)
 			s.phase = 1
 		case 1:
-			emitRead(s.b)
+			ref = s.emitRead(s.b, off, hit)
 			s.phase = 2
 		default:
-			emitWrite(s.c)
+			ref = s.emitWrite(s.c, off, hit)
 			s.phase = 0
 			s.i++
 		}

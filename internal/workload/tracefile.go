@@ -36,6 +36,29 @@ type traceRecord struct {
 	L1Hit   uint8
 }
 
+// traceRecSize is the on-disk record length: the fields above, packed
+// little-endian in declaration order with no padding (the layout
+// encoding/binary produced for the struct in format version 1).
+const traceRecSize = 12
+
+// encodeRecord packs rec into buf (reflection-free binary.Write).
+func encodeRecord(buf *[traceRecSize]byte, rec traceRecord) {
+	binary.LittleEndian.PutUint64(buf[0:8], rec.Addr)
+	binary.LittleEndian.PutUint16(buf[8:10], rec.Compute)
+	buf[10] = rec.Op
+	buf[11] = rec.L1Hit
+}
+
+// decodeRecord unpacks buf (reflection-free binary.Read).
+func decodeRecord(buf *[traceRecSize]byte) traceRecord {
+	return traceRecord{
+		Addr:    binary.LittleEndian.Uint64(buf[0:8]),
+		Compute: binary.LittleEndian.Uint16(buf[8:10]),
+		Op:      buf[10],
+		L1Hit:   buf[11],
+	}
+}
+
 // WriteTrace drains the generator into w. It returns the number of
 // references written.
 func WriteTrace(w io.Writer, g Generator) (uint64, error) {
@@ -48,23 +71,28 @@ func WriteTrace(w io.Writer, g Generator) (uint64, error) {
 		return 0, err
 	}
 	var n uint64
+	var batch [DefaultBatchSize]Ref
+	var scratch [traceRecSize]byte
 	for {
-		r, ok := g.Next()
-		if !ok {
+		filled := FillBatch(g, batch[:])
+		if filled == 0 {
 			break
 		}
-		rec := traceRecord{
-			Addr:    r.Access.Addr,
-			Compute: clamp16(r.ComputeCycles),
-			Op:      uint8(r.Access.Op),
+		for _, r := range batch[:filled] {
+			rec := traceRecord{
+				Addr:    r.Access.Addr,
+				Compute: clamp16(r.ComputeCycles),
+				Op:      uint8(r.Access.Op),
+			}
+			if r.L1Hit {
+				rec.L1Hit = 1
+			}
+			encodeRecord(&scratch, rec)
+			if _, err := bw.Write(scratch[:]); err != nil {
+				return n, err
+			}
+			n++
 		}
-		if r.L1Hit {
-			rec.L1Hit = 1
-		}
-		if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
-			return n, err
-		}
-		n++
 	}
 	if n != hdr.Count {
 		return n, fmt.Errorf("workload: generator emitted %d refs, declared %d", n, hdr.Count)
@@ -121,12 +149,13 @@ func (rp *Replay) Next() (Ref, bool) {
 	if rp.left == 0 || rp.err != nil {
 		return Ref{}, false
 	}
-	var rec traceRecord
-	if err := binary.Read(rp.r, binary.LittleEndian, &rec); err != nil {
+	var scratch [traceRecSize]byte
+	if _, err := io.ReadFull(rp.r, scratch[:]); err != nil {
 		rp.err = fmt.Errorf("%w: %v", ErrBadTrace, err)
 		rp.left = 0
 		return Ref{}, false
 	}
+	rec := decodeRecord(&scratch)
 	rp.left--
 	return Ref{
 		Access: trace.Access{
