@@ -2,7 +2,7 @@ GO ?= go
 BIN := bin
 LINT := $(BIN)/lightpc-lint
 
-.PHONY: all build test race vet lint bench bench-json profile perfdiff fuzz-smoke ci clean
+.PHONY: all build test race vet lint bench bench-json profile perfdiff fuzz-smoke obs-smoke ci clean
 
 all: build
 
@@ -19,7 +19,8 @@ vet:
 	$(GO) vet ./...
 
 # lightpc-lint: the repo's own go/analysis suite (nodeterminism,
-# epcutorder, maporder, simtime) run through go vet's -vettool hook.
+# epcutorder, maporder, simtime, obsdeterminism) run through go vet's
+# -vettool hook.
 $(LINT): FORCE
 	$(GO) build -o $(LINT) ./cmd/lightpc-lint
 FORCE:
@@ -62,7 +63,19 @@ fuzz-smoke:
 	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=2s
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzEngineScheduleCancel -fuzztime=2s
 
-ci: build vet lint test race fuzz-smoke
+# obs-smoke: run one instrumented SnG scenario and a 4-seed sweep through
+# lightpc-obs, then re-validate every artifact with the built-in schema
+# validators (Chrome trace-event JSON, Prometheus text 0.0.4).
+obs-smoke: | $(BIN)
+	$(GO) build -o $(BIN)/lightpc-obs ./cmd/lightpc-obs
+	$(BIN)/lightpc-obs -q -workload Redis \
+		-trace $(BIN)/obs-sng.json -metrics $(BIN)/obs-sng.prom -metrics-json $(BIN)/obs-sng.metrics.json
+	$(BIN)/lightpc-obs -check-trace $(BIN)/obs-sng.json -check-prom $(BIN)/obs-sng.prom
+	$(BIN)/lightpc-obs -q -mode sweep -seeds 1,2,3,4 -j 4 \
+		-trace $(BIN)/obs-sweep.json -metrics $(BIN)/obs-sweep.prom
+	$(BIN)/lightpc-obs -check-trace $(BIN)/obs-sweep.json -check-prom $(BIN)/obs-sweep.prom
+
+ci: build vet lint test race fuzz-smoke obs-smoke
 
 clean:
 	rm -rf $(BIN)

@@ -120,7 +120,9 @@ func main() {
 	// Root package: one iteration per figure benchmark (they run whole
 	// experiment suites). internal/sim: the scheduler microbenchmarks, where
 	// allocs/op is the number under regression watch (it must stay 0).
-	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchtime=1x", "-benchmem", "-count=1", ".", "./internal/sim")
+	// internal/obs: the disabled-instrument overhead benches, under the same
+	// 0 allocs/op watch — a platform built without a tracer must pay nothing.
+	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchtime=1x", "-benchmem", "-count=1", ".", "./internal/sim", "./internal/obs")
 	bout, err := cmd.CombinedOutput()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lightpc-benchseed: go test -bench: %v\n%s", err, bout)

@@ -4,7 +4,7 @@
 //	go build -o bin/lightpc-lint ./cmd/lightpc-lint
 //	go vet -vettool=$(pwd)/bin/lightpc-lint ./...
 //
-// (or simply `make lint`). It bundles four analyzers that enforce, at vet
+// (or simply `make lint`). It bundles five analyzers that enforce, at vet
 // time, the invariants the reproduction otherwise only checks dynamically:
 //
 //	nodeterminism  no wall-clock time or ambient randomness in internal/;
@@ -17,6 +17,9 @@
 //	               randomized map iteration order
 //	simtime        stdlib time.Duration (nanoseconds) never mixes with
 //	               sim.Duration/sim.Time (picoseconds)
+//	obsdeterminism internal/obs may never read the host clock or range a
+//	               map, in any file including tests: exported trace and
+//	               metric bytes are a pure function of sim time
 //
 // Findings can be suppressed in place with a reasoned directive:
 //
@@ -27,6 +30,7 @@ import (
 	"repro/internal/lint/epcutorder"
 	"repro/internal/lint/maporder"
 	"repro/internal/lint/nodeterminism"
+	"repro/internal/lint/obsdeterminism"
 	"repro/internal/lint/simtime"
 	"repro/internal/lint/unitchecker"
 )
@@ -37,5 +41,6 @@ func main() {
 		epcutorder.Analyzer,
 		maporder.Analyzer,
 		simtime.Analyzer,
+		obsdeterminism.Analyzer,
 	)
 }

@@ -1,0 +1,168 @@
+// Command lightpc-obs drives an instrumented Stop-and-Go scenario and
+// exports what the observability layer recorded: a Chrome trace-event JSON
+// timeline (open it in Perfetto or chrome://tracing), a Prometheus-text
+// metrics snapshot, and an ASCII phase table against the PSU hold-up
+// budget. All output is deterministic: same flags, same bytes.
+//
+// Usage:
+//
+//	lightpc-obs -trace out.json -metrics out.prom
+//	lightpc-obs -platform full -workload Redis -seed 7 -trace redis.json
+//	lightpc-obs -mode sweep -seeds 1,2,3,4 -j 4 -trace sweep.json
+//	lightpc-obs -check-trace out.json        # validate and exit
+//	lightpc-obs -check-prom out.prom         # validate and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	lightpc "repro"
+	"repro/internal/obs"
+	"repro/internal/obs/drive"
+	"repro/internal/sim"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lightpc-obs: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func writeFile(path string, data []byte) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+}
+
+func parseSeeds(s string) []uint64 {
+	var out []uint64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			fatalf("bad seed %q: %v", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		fatalf("no seeds in %q", s)
+	}
+	return out
+}
+
+func main() {
+	var (
+		mode     = flag.String("mode", "sng", "sng (one scenario) | sweep (one cell per seed)")
+		platform = flag.String("platform", "full", "platform: legacy | b | full")
+		seed     = flag.Uint64("seed", 1, "simulation seed (sng mode)")
+		seeds    = flag.String("seeds", "1,2,3,4", "comma-separated seeds (sweep mode)")
+		jobs     = flag.Int("j", 1, "sweep workers (0 = GOMAXPROCS); output is identical at any level")
+		cores    = flag.Int("cores", 8, "core count")
+		user     = flag.Int("user", 72, "user processes")
+		kprocs   = flag.Int("kernelprocs", 48, "kernel threads")
+		devices  = flag.Int("devices", 250, "dpm_list length")
+		ticks    = flag.Int("ticks", 20, "scheduler ticks before the power event")
+		wl       = flag.String("workload", "", "Table II workload to run first (empty = none)")
+		psu      = flag.String("psu", "atx", "psu: atx | server")
+		holdup   = flag.Duration("holdup", 0, "override hold-up window (0 = PSU spec)")
+
+		traceOut = flag.String("trace", "", "write Chrome trace-event JSON here")
+		promOut  = flag.String("metrics", "", "write Prometheus text snapshot here")
+		jsonOut  = flag.String("metrics-json", "", "write JSON metrics snapshot here")
+		quiet    = flag.Bool("q", false, "suppress the phase table")
+
+		checkTrace = flag.String("check-trace", "", "validate a Chrome trace JSON file and exit")
+		checkProm  = flag.String("check-prom", "", "validate a Prometheus text file and exit")
+	)
+	flag.Parse()
+
+	if *checkTrace != "" || *checkProm != "" {
+		check(*checkTrace, *checkProm)
+		return
+	}
+
+	var kind lightpc.Kind
+	switch *platform {
+	case "legacy":
+		kind = lightpc.LegacyPC
+	case "b":
+		kind = lightpc.LightPCB
+	case "full":
+		kind = lightpc.LightPCFull
+	default:
+		fatalf("unknown platform %q (want legacy, b, or full)", *platform)
+	}
+
+	sc := drive.Scenario{
+		Kind:        kind,
+		Seed:        *seed,
+		Cores:       *cores,
+		UserProcs:   *user,
+		KernelProcs: *kprocs,
+		Devices:     *devices,
+		Ticks:       *ticks,
+		Workload:    *wl,
+		PSU:         *psu,
+		Holdup:      sim.Duration(holdup.Nanoseconds()) * sim.Nanosecond,
+	}
+
+	switch *mode {
+	case "sng":
+		res, err := drive.SnG(sc)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !*quiet {
+			fmt.Print(res.PhaseTable())
+		}
+		writeFile(*traceOut, res.ChromeTrace())
+		writeFile(*promOut, res.Registry.PrometheusBytes())
+		writeFile(*jsonOut, res.Registry.JSONBytes())
+	case "sweep":
+		sw, err := drive.Sweep(sc, parseSeeds(*seeds), *jobs)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !*quiet {
+			fmt.Print(sw.PhaseTables())
+		}
+		writeFile(*traceOut, sw.ChromeTrace())
+		writeFile(*promOut, sw.Prometheus())
+	default:
+		fatalf("unknown mode %q (want sng or sweep)", *mode)
+	}
+}
+
+// check validates previously written artifacts (the obs-smoke CI step).
+func check(tracePath, promPath string) {
+	if tracePath != "" {
+		data, err := os.ReadFile(tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := obs.ValidateChromeTrace(data); err != nil {
+			fatalf("%s: %v", tracePath, err)
+		}
+		fmt.Printf("%s: valid Chrome trace-event JSON\n", tracePath)
+	}
+	if promPath != "" {
+		data, err := os.ReadFile(promPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := obs.ValidatePrometheus(data); err != nil {
+			fatalf("%s: %v", promPath, err)
+		}
+		fmt.Printf("%s: valid Prometheus text exposition\n", promPath)
+	}
+}

@@ -1,0 +1,24 @@
+package cache
+
+import (
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// RegisterMetrics exposes the cache counters under prefix (caches come in
+// pairs — pass "l1d_", "l1i_", …). Dumped bytes derive from the flushed
+// line count at export time.
+func (c *Cache) RegisterMetrics(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+"read_hits_total", "read lookups that hit", func() uint64 { return c.stats.ReadHits })
+	r.CounterFunc(prefix+"read_misses_total", "read lookups that missed", func() uint64 { return c.stats.ReadMisses })
+	r.CounterFunc(prefix+"write_hits_total", "write lookups that hit", func() uint64 { return c.stats.WriteHits })
+	r.CounterFunc(prefix+"write_misses_total", "write lookups that missed", func() uint64 { return c.stats.WriteMisses })
+	r.CounterFunc(prefix+"writebacks_total", "dirty evictions written back", func() uint64 { return c.stats.Writebacks })
+	r.CounterFunc(prefix+"fills_total", "lines filled from the backend", func() uint64 { return c.stats.Fills })
+	r.CounterFunc(prefix+"flushes_total", "whole-cache flushes", func() uint64 { return c.stats.Flushes })
+	r.CounterFunc(prefix+"flushed_lines_total", "dirty lines drained by flushes", func() uint64 { return c.stats.FlushedLines })
+	r.CounterFunc(prefix+"dumped_bytes_total", "bytes written back by flushes", func() uint64 { return c.stats.FlushedLines * trace.CacheLineSize })
+}

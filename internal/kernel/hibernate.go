@@ -58,6 +58,7 @@ func (k *Kernel) Hibernate() int {
 	if k.DRAM != nil {
 		moved += k.DRAM.CopyTo(k.OCPMEM, hibBase+hibDRAMOff)
 	}
+	k.DumpedBytes += uint64(moved) * 8
 	return moved
 }
 
@@ -74,12 +75,14 @@ func (k *Kernel) ResumeFromHibernate() bool {
 	if !k.HasHibernationImage() {
 		return false
 	}
+	restored := 0
 	if k.DRAM != nil {
-		k.DRAM.RestoreFrom(k.OCPMEM, hibBase+hibDRAMOff)
+		restored += k.DRAM.RestoreFrom(k.OCPMEM, hibBase+hibDRAMOff)
 	}
 	for _, c := range k.Cores {
 		c.Online = true
 		k.Boot.RestoreCoreRegisters(c)
+		restored += len(c.MRegs)
 	}
 	byPID := map[uint64]*Process{}
 	for _, p := range k.Procs {
@@ -92,6 +95,7 @@ func (k *Kernel) ResumeFromHibernate() bool {
 		if p == nil {
 			continue
 		}
+		restored += 4
 		p.CoreID = int(int64(k.OCPMEM.Read(base + 8)))
 		p.Nice = int(int64(k.OCPMEM.Read(base + 16)))
 		p.VRuntime = k.OCPMEM.Read(base + 24)
@@ -106,5 +110,6 @@ func (k *Kernel) ResumeFromHibernate() bool {
 	// must cold boot).
 	k.OCPMEM.Write(hibBase+hibMagicOff, 0)
 	k.ScheduleAll()
+	k.RestoredBytes += uint64(restored) * 8
 	return true
 }

@@ -107,6 +107,11 @@ type Kernel struct {
 	// PersistFlag is the atomic system-wide flag Drive-to-Idle raises.
 	PersistFlag bool
 
+	// DumpedBytes / RestoredBytes tally the system-image traffic moved by
+	// Hibernate and ResumeFromHibernate (observability counters).
+	DumpedBytes   uint64
+	RestoredBytes uint64
+
 	nextPID int
 }
 

@@ -1,0 +1,23 @@
+package kernel
+
+import "repro/internal/obs"
+
+// RegisterMetrics exposes the kernel's observability counters under prefix:
+// system-image traffic plus live process/core gauges sampled at export time.
+func (k *Kernel) RegisterMetrics(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	r.CounterFunc(prefix+"image_dumped_bytes_total", "bytes streamed into OC-PMEM by Hibernate", func() uint64 { return k.DumpedBytes })
+	r.CounterFunc(prefix+"image_restored_bytes_total", "bytes reloaded by ResumeFromHibernate", func() uint64 { return k.RestoredBytes })
+	r.GaugeFunc(prefix+"procs", "processes in the PCB catalog", func() float64 { return float64(len(k.Procs)) })
+	r.GaugeFunc(prefix+"cores_online", "cores currently online", func() float64 {
+		n := 0
+		for _, c := range k.Cores {
+			if c.Online {
+				n++
+			}
+		}
+		return float64(n)
+	})
+}

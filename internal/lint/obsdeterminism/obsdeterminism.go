@@ -1,0 +1,103 @@
+// Package obsdeterminism holds the observability layer to a stricter
+// determinism bar than the rest of internal/.
+//
+// The obs exporters promise byte-identical artifacts: the same seeded
+// scenario must produce the same Chrome trace JSON and the same
+// Prometheus text on every run and at every -j level
+// (drive.TestSnGDeterministicBytes, TestSweepParallelismInvariant).
+// Two stdlib conveniences silently break that promise:
+//
+//   - wall-clock reads (time.Now, time.Since): a trace timestamp or
+//     metric sampled from the host clock differs between runs. All obs
+//     timing is sim.Time, handed in by the instrumented code.
+//   - map iteration: Go randomizes range order per run, so any map
+//     ranged while exporting lands host-random ordering in the output
+//     bytes. The registry keeps insertion order in a slice and sorts a
+//     copy for Prometheus; validators look maps up, never range them.
+//
+// nodeterminism already bans the clock in non-test internal/ code; this
+// pass extends both bans to every file of internal/obs packages —
+// including tests, whose byte-equality assertions are themselves part of
+// the contract. There is no exception today; if one ever appears it must
+// carry a reasoned directive:
+//
+//	for k := range m { //lint:allow obsdeterminism commutative fold, never exported
+package obsdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the obsdeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsdeterminism",
+	Doc:  "forbid wall-clock reads and map iteration in internal/obs; exported bytes must be a pure function of sim time",
+	Run:  run,
+}
+
+// clockReads are the time package members that read the host clock.
+// Constants and types are fine (the CLI parses -holdup as a
+// time.Duration); only live clock reads corrupt exported bytes.
+var clockReads = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// obsPackage reports whether the import path is part of the
+// observability layer.
+func obsPackage(path string) bool {
+	return path == "internal/obs" ||
+		strings.Contains(path, "/internal/obs") ||
+		strings.HasPrefix(path, "internal/obs/")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !obsPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		// Deliberately no IsTestFile skip: test files assert
+		// byte-equality and must obey the same rules.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkClock(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkClock flags selector uses of the time package's clock readers.
+func checkClock(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "time" {
+		return
+	}
+	if clockReads[sel.Sel.Name] {
+		pass.Reportf(sel.Pos(), "time.%s in internal/obs: exported trace/metric bytes must be a pure function of sim time, never the host clock", sel.Sel.Name)
+	}
+}
+
+// checkRange flags range statements whose operand is a map.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); ok {
+		pass.Reportf(rs.Pos(), "map iteration in internal/obs: range order is host-random and would leak into exported bytes; keep insertion order in a slice and sort a copy")
+	}
+}

@@ -1,0 +1,13 @@
+package obsdeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/obsdeterminism"
+)
+
+func TestObsdeterminism(t *testing.T) {
+	linttest.Run(t, "testdata", obsdeterminism.Analyzer,
+		"internal/obs/bad", "internal/obs/good", "outside")
+}

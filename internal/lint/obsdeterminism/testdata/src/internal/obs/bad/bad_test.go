@@ -1,0 +1,9 @@
+// Test files are not exempt: byte-equality tests are part of the
+// determinism contract.
+package bad
+
+import "time"
+
+func helperForTest() time.Time {
+	return time.Now() // want `time\.Now in internal/obs`
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file renders tracers into the Chrome trace-event JSON format
+// (the "JSON Array Format" inside an object container), which Perfetto and
+// chrome://tracing open directly: every lane becomes a named thread row,
+// every tracer a named process.
+//
+// The writer emits bytes by hand rather than through encoding/json so the
+// output is a pure function of the recorded events: field order is fixed,
+// timestamps are formatted with a fixed-width microsecond grammar, and
+// events appear in record order. Same seed, same trace bytes.
+
+// chromeTS formats a sim timestamp/duration (picoseconds) as Chrome's
+// microsecond unit with fixed six-digit sub-microsecond precision.
+func chromeTS(ps int64) string {
+	neg := ""
+	if ps < 0 {
+		neg, ps = "-", -ps
+	}
+	return fmt.Sprintf("%s%d.%06d", neg, ps/1_000_000, ps%1_000_000)
+}
+
+// jsonString escapes s as a JSON string literal.
+func jsonString(s string) string { return strconv.Quote(s) }
+
+// WriteChromeTrace renders the tracers into one Chrome trace-event JSON
+// document. Each tracer contributes its events under its own pid (see
+// SetPid) with per-lane thread metadata; tracers are emitted in argument
+// order and events in record order, so the bytes are deterministic.
+func WriteChromeTrace(w io.Writer, names []string, tracers ...*Tracer) error {
+	if len(names) != 0 && len(names) != len(tracers) {
+		return fmt.Errorf("obs: %d process names for %d tracers", len(names), len(tracers))
+	}
+	var b bytes.Buffer
+	b.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	emit := func(s string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString("\n")
+		b.WriteString(s)
+	}
+	for i, t := range tracers {
+		if t == nil {
+			continue
+		}
+		pid := t.Pid()
+		pname := "lightpc"
+		if len(names) > 0 {
+			pname = names[i]
+		}
+		emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, jsonString(pname)))
+		for lane, lname := range t.Lanes() {
+			emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				pid, lane, jsonString(lname)))
+			// Pin the row order in Perfetto to the lane registration order.
+			emit(fmt.Sprintf(`{"ph":"M","name":"thread_sort_index","pid":%d,"tid":%d,"args":{"sort_index":%d}}`,
+				pid, lane, lane))
+		}
+		for _, ev := range t.Events() {
+			var line bytes.Buffer
+			switch ev.Kind {
+			case KindSpan:
+				dur := int64(ev.Dur)
+				if dur < 0 {
+					dur = 0 // still-open span: clamp, keep the begin mark
+				}
+				fmt.Fprintf(&line, `{"ph":"X","name":%s,"cat":%s,"ts":%s,"dur":%s,"pid":%d,"tid":%d`,
+					jsonString(ev.Name), jsonString(ev.Cat),
+					chromeTS(int64(ev.Start)), chromeTS(dur), pid, ev.Lane)
+			case KindInstant:
+				fmt.Fprintf(&line, `{"ph":"i","s":"t","name":%s,"cat":%s,"ts":%s,"pid":%d,"tid":%d`,
+					jsonString(ev.Name), jsonString(ev.Cat),
+					chromeTS(int64(ev.Start)), pid, ev.Lane)
+			default:
+				return fmt.Errorf("obs: unknown event kind %d", ev.Kind)
+			}
+			if ev.ArgName != "" {
+				fmt.Fprintf(&line, `,"args":{%s:%d}`, jsonString(ev.ArgName), ev.Arg)
+			}
+			line.WriteByte('}')
+			emit(line.String())
+		}
+	}
+	b.WriteString("\n]}\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// ChromeTraceBytes renders the tracers and returns the document.
+func ChromeTraceBytes(names []string, tracers ...*Tracer) []byte {
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, names, tracers...); err != nil {
+		panic(err) // bytes.Buffer cannot fail; kinds are exhaustive
+	}
+	return b.Bytes()
+}
+
+// chromeEvent is the schema-checking view of one trace event.
+type chromeEvent struct {
+	Ph   string         `json:"ph"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	TS   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	S    string         `json:"s"`
+	Args map[string]any `json:"args"`
+}
+
+// ValidateChromeTrace checks that data is a well-formed Chrome trace-event
+// document Perfetto will open: a traceEvents array whose entries carry the
+// fields their phase requires, with every referenced (pid, tid) row named
+// by thread_name metadata and no negative timestamps. It is the checker
+// `make obs-smoke` runs over lightpc-obs output.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("chrome trace: not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("chrome trace: missing traceEvents array")
+	}
+	type row struct{ pid, tid int }
+	named := make(map[row]bool)
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" && ev.Pid != nil && ev.Tid != nil {
+			if _, ok := ev.Args["name"].(string); !ok {
+				return fmt.Errorf("chrome trace: event %d: thread_name metadata without args.name", i)
+			}
+			named[row{*ev.Pid, *ev.Tid}] = true
+		}
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("chrome trace: event %d: missing name", i)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("chrome trace: event %d (%q): missing pid/tid", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			// Metadata rows carry no timestamp.
+		case "X":
+			if ev.TS == nil || ev.Dur == nil {
+				return fmt.Errorf("chrome trace: event %d (%q): complete span without ts/dur", i, ev.Name)
+			}
+			if *ev.TS < 0 || *ev.Dur < 0 {
+				return fmt.Errorf("chrome trace: event %d (%q): negative ts/dur", i, ev.Name)
+			}
+			if !named[row{*ev.Pid, *ev.Tid}] {
+				return fmt.Errorf("chrome trace: event %d (%q): unnamed row pid=%d tid=%d", i, ev.Name, *ev.Pid, *ev.Tid)
+			}
+		case "i":
+			if ev.TS == nil || *ev.TS < 0 {
+				return fmt.Errorf("chrome trace: event %d (%q): instant without valid ts", i, ev.Name)
+			}
+			if ev.S == "" {
+				return fmt.Errorf("chrome trace: event %d (%q): instant without scope", i, ev.Name)
+			}
+			if !named[row{*ev.Pid, *ev.Tid}] {
+				return fmt.Errorf("chrome trace: event %d (%q): unnamed row pid=%d tid=%d", i, ev.Name, *ev.Pid, *ev.Tid)
+			}
+		default:
+			return fmt.Errorf("chrome trace: event %d (%q): unsupported phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+// Package drive runs instrumented LightPC scenarios for the observability
+// tooling: it assembles a platform, attaches a tracer and a metrics
+// registry to every layer that accepts one, executes a seeded
+// workload + power-failure + recovery sequence, and hands back the
+// instruments alongside the SnG reports.
+//
+// Everything here inherits the repo's determinism contract: a scenario's
+// bytes (trace JSON, Prometheus text, phase table) are a pure function of
+// its Scenario values, and Sweep merges per-cell instruments in canonical
+// cell order so output is identical at any -j level.
+package drive
+
+import (
+	"fmt"
+	"strings"
+
+	lightpc "repro"
+	"repro/internal/obs"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/sng"
+	"repro/internal/workload"
+)
+
+// Scenario parameterizes one instrumented power-failure run.
+type Scenario struct {
+	Kind lightpc.Kind
+
+	Seed        uint64
+	Cores       int
+	UserProcs   int
+	KernelProcs int
+	Devices     int
+
+	// Ticks pre-ages the kernel scheduler before the power event.
+	Ticks int
+
+	// Workload optionally names a Table II spec to execute before the
+	// power failure ("" skips the workload phase).
+	Workload string
+
+	// PSU selects the supply ("atx" default, or "server"); Holdup
+	// overrides its spec hold-up window when non-zero.
+	PSU    string
+	Holdup sim.Duration
+}
+
+// withDefaults fills the zero values with the lightpc-sng defaults.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.Cores <= 0 {
+		sc.Cores = 8
+	}
+	if sc.UserProcs <= 0 {
+		sc.UserProcs = 72
+	}
+	if sc.KernelProcs <= 0 {
+		sc.KernelProcs = 48
+	}
+	if sc.Devices <= 0 {
+		sc.Devices = 250
+	}
+	if sc.Ticks <= 0 {
+		sc.Ticks = 20
+	}
+	if sc.PSU == "" {
+		sc.PSU = "atx"
+	}
+	return sc
+}
+
+// window resolves the hold-up budget.
+func (sc Scenario) window() (power.PSU, sim.Duration, error) {
+	var psu power.PSU
+	switch sc.PSU {
+	case "atx":
+		psu = power.ATX()
+	case "server":
+		psu = power.Server()
+	default:
+		return psu, 0, fmt.Errorf("drive: unknown PSU %q (want atx or server)", sc.PSU)
+	}
+	w := sim.Duration(psu.SpecHoldUp)
+	if sc.Holdup > 0 {
+		w = sc.Holdup
+	}
+	return psu, w, nil
+}
+
+// Result bundles one scenario's reports with the instruments that
+// recorded them.
+type Result struct {
+	Scenario Scenario
+
+	Run   *lightpc.RunResult // nil when no workload ran
+	Stop  sng.StopReport
+	Go    sng.GoReport
+	GoErr error
+
+	Tracer   *obs.Tracer
+	Registry *obs.Registry
+}
+
+// SnG executes one instrumented scenario: build the platform, wire the
+// observability layer through it, optionally run the workload, age the
+// scheduler, pull the power against the hold-up window, and recover.
+func SnG(sc Scenario) (*Result, error) {
+	return run(sc, "")
+}
+
+// run is SnG with a metric-name prefix, so Sweep cells merge into one
+// Prometheus document without name collisions.
+func run(sc Scenario, prefix string) (*Result, error) {
+	sc = sc.withDefaults()
+	_, window, err := sc.window()
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := lightpc.DefaultConfig(sc.Kind)
+	cfg.Seed = sc.Seed
+	cfg.CPU.Cores = sc.Cores
+	cfg.Kernel.Cores = sc.Cores
+	cfg.Kernel.UserProcs = sc.UserProcs
+	cfg.Kernel.KernelProcs = sc.KernelProcs
+	cfg.Kernel.Devices = sc.Devices
+	p := lightpc.New(cfg)
+
+	res := &Result{
+		Scenario: sc,
+		Tracer:   obs.NewTracer(),
+		Registry: obs.NewRegistry(),
+	}
+	p.SnG().Obs = res.Tracer
+	if ps := p.PSM(); ps != nil {
+		ps.SetTracer(res.Tracer)
+		ps.RegisterMetrics(res.Registry, prefix+"psm_")
+	}
+	if d := p.DRAM(); d != nil {
+		d.RegisterMetrics(res.Registry, prefix+"dram_")
+	}
+	p.Kernel().RegisterMetrics(res.Registry, prefix+"kernel_")
+
+	if sc.Workload != "" {
+		spec, ok := workload.ByName(sc.Workload)
+		if !ok {
+			return nil, fmt.Errorf("drive: unknown workload %q", sc.Workload)
+		}
+		rr := p.Run(spec)
+		res.Run = &rr
+		obs.RegisterTraceStats(res.Registry, prefix+"cpu_", &rr.Stats)
+	}
+
+	p.Kernel().Tick(sc.Ticks)
+
+	// PowerFail with the (possibly overridden) window, then Go at the
+	// same origin the CLI uses.
+	res.Stop = p.SnG().Stop(0, sim.Time(window))
+	p.Kernel().PowerLoss()
+	res.Go, res.GoErr = p.Recover(0)
+	return res, nil
+}
+
+// PhaseTable renders the run's SnG decomposition as an aligned table:
+// every Stop and Go phase with its start, duration, and share of the
+// hold-up budget.
+func (res *Result) PhaseTable() string {
+	sc := res.Scenario
+	t := report.New(
+		fmt.Sprintf("SnG phase timeline — %s, seed %d", sc.Kind, sc.Seed),
+		"phase", "start", "duration", "share of budget")
+	budget := res.Stop.Budget
+	share := func(d sim.Duration) string {
+		if budget <= 0 {
+			return "-"
+		}
+		return report.Pct(float64(d) / float64(budget))
+	}
+	for _, ph := range res.Stop.Phases {
+		t.Add("stop/"+ph.Name, report.Dur(ph.Start.Sub(0)), report.Dur(ph.Dur), share(ph.Dur))
+	}
+	t.Add("stop/total", report.Dur(0), report.Dur(res.Stop.Total), share(res.Stop.Total))
+	for _, ph := range res.Go.Phases {
+		t.Add("go/"+ph.Name, report.Dur(ph.Start.Sub(0)), report.Dur(ph.Dur), "-")
+	}
+	t.Add("go/total", report.Dur(0), report.Dur(res.Go.Total), "-")
+
+	t.Note("hold-up budget: %v (%s)", budget, sc.PSU)
+	if res.Stop.Completed {
+		t.Note("EP-cut committed %v before the rails dropped", budget-res.Stop.Total)
+	} else {
+		t.Note("budget exceeded in phase %q — no EP-cut, recovery cold boots", res.Stop.OverrunPhase)
+	}
+	if res.GoErr != nil {
+		t.Note("Go: %v", res.GoErr)
+	}
+	return t.String()
+}
+
+// ChromeTrace renders the run's tracer as one Chrome trace-event document.
+func (res *Result) ChromeTrace() []byte {
+	return obs.ChromeTraceBytes([]string{res.label()}, res.Tracer)
+}
+
+// label names the run for trace process rows and sweep cells.
+func (res *Result) label() string {
+	return fmt.Sprintf("%s/seed%d", res.Scenario.Kind, res.Scenario.Seed)
+}
+
+// SweepResult is a set of per-seed results merged in canonical order.
+type SweepResult struct {
+	Cells []*Result
+}
+
+// Sweep runs the scenario once per seed on a deterministic worker pool
+// (jobs ≤ 0 means GOMAXPROCS, 1 forces serial) and returns the cells in
+// seed order — the same bytes at any parallelism.
+func Sweep(base Scenario, seeds []uint64, jobs int) (*SweepResult, error) {
+	cells := make([]runner.Cell[*Result], len(seeds))
+	errs := make([]error, len(seeds))
+	for i, seed := range seeds {
+		i, seed := i, seed
+		sc := base
+		sc.Seed = seed
+		cells[i] = runner.Cell[*Result]{
+			Label: fmt.Sprintf("sng/seed%d", seed),
+			Run: func() *Result {
+				r, err := run(sc, fmt.Sprintf("cell%d_", i))
+				errs[i] = err
+				return r
+			},
+		}
+	}
+	out := runner.Run(runner.Pool{Workers: jobs}, cells)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sw := &SweepResult{Cells: out}
+	for i, c := range sw.Cells {
+		c.Tracer.SetPid(i)
+	}
+	return sw, nil
+}
+
+// ChromeTrace merges every cell's tracer into one document, one process
+// per cell, in cell order.
+func (s *SweepResult) ChromeTrace() []byte {
+	names := make([]string, len(s.Cells))
+	tracers := make([]*obs.Tracer, len(s.Cells))
+	for i, c := range s.Cells {
+		names[i] = c.label()
+		tracers[i] = c.Tracer
+	}
+	return obs.ChromeTraceBytes(names, tracers...)
+}
+
+// Prometheus concatenates the per-cell registries in cell order. Cell
+// metric names carry a cell<i>_ prefix, so families never collide.
+func (s *SweepResult) Prometheus() []byte {
+	var b strings.Builder
+	for _, c := range s.Cells {
+		b.Write(c.Registry.PrometheusBytes())
+	}
+	return []byte(b.String())
+}
+
+// PhaseTables renders every cell's phase table in cell order.
+func (s *SweepResult) PhaseTables() string {
+	var b strings.Builder
+	for i, c := range s.Cells {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(c.PhaseTable())
+	}
+	return b.String()
+}

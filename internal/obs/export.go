@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exporters for the metrics registry: the Prometheus text exposition
+// format and a JSON snapshot. Both iterate a name-sorted copy of the
+// insertion-ordered metric slice — never a map — so output bytes are a
+// pure function of the registered metrics and their values.
+
+// sorted returns the metrics sorted by name.
+func (r *Registry) sorted() []*Metric {
+	if r == nil {
+		return nil
+	}
+	ms := make([]*Metric, len(r.metrics))
+	copy(ms, r.metrics)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	return ms
+}
+
+// formatFloat renders v with the shortest round-trip representation.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// secondsOf converts a picosecond quantity to Prometheus' base unit.
+func secondsOf(ps int64) float64 { return float64(ps) / 1e12 }
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), metrics sorted by name. Sim-time histograms are
+// exposed with `le` bounds and sums in seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b bytes.Buffer
+	for _, m := range r.sorted() {
+		if m.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, strings.ReplaceAll(m.Help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Kind)
+		switch m.Kind {
+		case KindHistogram:
+			h := m.h
+			bounds, cum := h.Buckets()
+			for i, bound := range bounds {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.Name, formatFloat(secondsOf(int64(bound))), cum[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.Name, h.Count())
+			fmt.Fprintf(&b, "%s_sum %s\n", m.Name, formatFloat(secondsOf(int64(h.Sum()))))
+			fmt.Fprintf(&b, "%s_count %d\n", m.Name, h.Count())
+		case KindCounter:
+			// Counters are integral; render them without float rounding.
+			fmt.Fprintf(&b, "%s %d\n", m.Name, uint64(m.Value()))
+		default:
+			fmt.Fprintf(&b, "%s %s\n", m.Name, formatFloat(m.Value()))
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// PrometheusBytes renders the registry and returns the text.
+func (r *Registry) PrometheusBytes() []byte {
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	return b.Bytes()
+}
+
+// WriteJSON renders a machine-readable snapshot: a sorted array of
+// {name, kind, help, value | histogram} objects.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var b bytes.Buffer
+	b.WriteString("{\"metrics\":[")
+	for i, m := range r.sorted() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "{\"name\":%s,\"kind\":%q,\"help\":%s",
+			strconv.Quote(m.Name), m.Kind.String(), strconv.Quote(m.Help))
+		if m.Kind == KindHistogram {
+			h := m.h
+			bounds, cum := h.Buckets()
+			b.WriteString(",\"buckets\":[")
+			for j, bound := range bounds {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "{\"le_ps\":%d,\"count\":%d}", int64(bound), cum[j])
+			}
+			fmt.Fprintf(&b, "],\"count\":%d,\"sum_ps\":%d}", h.Count(), int64(h.Sum()))
+		} else {
+			fmt.Fprintf(&b, ",\"value\":%s}", formatFloat(m.Value()))
+		}
+	}
+	b.WriteString("\n]}\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// JSONBytes renders the JSON snapshot and returns it.
+func (r *Registry) JSONBytes() []byte {
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	return b.Bytes()
+}
+
+// ValidatePrometheus checks that data parses as Prometheus text exposition
+// format: every sample line is `name[{labels}] value` with a parseable
+// value, and every sampled metric family is preceded by a TYPE line. It is
+// the checker `make obs-smoke` runs over lightpc-obs output.
+func ValidatePrometheus(data []byte) error {
+	typed := make(map[string]string)
+	lineNo := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		lineNo++
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			// "# TYPE <name> <kind>" / "# HELP <name> <text>"
+			if len(f) >= 4 && f[1] == "TYPE" {
+				switch f[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					typed[f[2]] = f[3]
+				default:
+					return fmt.Errorf("prometheus: line %d: unknown TYPE %q", lineNo, f[3])
+				}
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return fmt.Errorf("prometheus: line %d: malformed sample %q", lineNo, line)
+		}
+		if _, err := strconv.ParseFloat(f[len(f)-1], 64); err != nil {
+			return fmt.Errorf("prometheus: line %d: bad value in %q: %v", lineNo, line, err)
+		}
+		name := f[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") && !strings.Contains(line, "}") {
+				return fmt.Errorf("prometheus: line %d: unterminated labels in %q", lineNo, line)
+			}
+			name = name[:i]
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				if _, ok := typed[strings.TrimSuffix(name, suffix)]; ok {
+					family = strings.TrimSuffix(name, suffix)
+				}
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			return fmt.Errorf("prometheus: line %d: sample %q without a TYPE declaration", lineNo, name)
+		}
+	}
+	return nil
+}

@@ -249,3 +249,31 @@ func TestDIMMInvariantsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDIMMSteadyStateAllocFree pins the access hot path: once the tier
+// caches are warm and the latency histogram is pre-sized
+// (sim.Histogram.Reserve), Read/Write/Access must not allocate. The obs
+// layer samples these counters via CounterFunc, so the instrumented DIMM
+// must stay as allocation-free as the bare one.
+func TestDIMMSteadyStateAllocFree(t *testing.T) {
+	d := New(Config{Seed: 1})
+	rng := sim.NewRNG(2)
+	now := sim.Time(0)
+	// Warm both tiers to capacity so inserts only recycle slots.
+	for i := 0; i < 3*4096; i++ {
+		now = d.Access(now, trace.Access{Op: trace.OpRead, Addr: rng.Uint64()})
+		now = d.Access(now, trace.Access{Op: trace.OpWrite, Addr: rng.Uint64()})
+	}
+
+	const rounds = 1000
+	// +1: AllocsPerRun runs one unmeasured warm-up invocation.
+	d.ReadLatency().Reserve(2 * (rounds + 1))
+	allocs := testing.AllocsPerRun(rounds, func() {
+		now = d.Access(now, trace.Access{Op: trace.OpRead, Addr: rng.Uint64()})
+		now = d.Access(now, trace.Access{Op: trace.OpWrite, Addr: rng.Uint64()})
+		now = d.Read(now, rng.Uint64())
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DIMM access allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -20,6 +20,7 @@ package psm
 
 import (
 	"repro/internal/nvdimm"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -140,6 +141,9 @@ type PSM struct {
 
 	mce        mceState
 	mceHandler func(now sim.Time, line uint64)
+
+	tr     *obs.Tracer
+	trLane obs.Lane
 }
 
 // New builds a PSM.
@@ -231,6 +235,7 @@ func (p *PSM) Read(now sim.Time, line uint64) sim.Time {
 
 	if p.cfg.XCC && d.LineBusy(start, inner) {
 		if done, ok, corr := d.ReadReconstructed(start, inner); ok && !corr {
+			p.stats.Reconstructs++
 			p.readLat.Add(done.Sub(now))
 			return done
 		}
@@ -272,6 +277,7 @@ func (p *PSM) Read(now sim.Time, line uint64) sim.Time {
 
 func (p *PSM) raiseMCE(now sim.Time, line uint64) {
 	p.stats.MCEs++
+	p.tr.InstantArg(now, p.trLane, "psm", "mce", "line", int64(line))
 	if p.mceHandler != nil {
 		p.mceHandler(now, line)
 	}
@@ -344,10 +350,12 @@ func (p *PSM) Write(now sim.Time, line uint64) sim.Time {
 func (p *PSM) Flush(now sim.Time) sim.Time {
 	p.stats.Flushes++
 	at := now.Add(p.cfg.PortLatency)
+	var drained int64
 	for i := range p.buffers {
 		for _, dl := range p.buffers[i].drain(p.cfg.WindowLines) {
 			p.program(at, dl)
 			p.stats.DrainedOnFlushes++
+			drained++
 		}
 	}
 	end := at
@@ -357,6 +365,7 @@ func (p *PSM) Flush(now sim.Time) sim.Time {
 	for i := range p.hold {
 		p.hold[i] = end
 	}
+	p.tr.SpanArg(now, end, p.trLane, "psm", "flush", "drained_lines", drained)
 	return end
 }
 
@@ -387,7 +396,9 @@ func (p *PSM) RemixWearSeed(now sim.Time, seed uint64) sim.Time {
 	pairs := len(p.dimms) * p.dimms[0].Groups()
 	per := p.cfg.NVDIMM.Device.ReadLatency + p.cfg.NVDIMM.Device.WriteLatency
 	total := sim.Duration(p.wl.PhysicalLines()) * per / sim.Duration(pairs)
-	return now.Add(total)
+	end := now.Add(total)
+	p.tr.Span(now, end, p.trLane, "psm", "wear-scrub")
+	return end
 }
 
 // Stats returns a copy of the counters.

@@ -59,10 +59,12 @@ type eventSlot struct {
 // zero-delay events (see peek for why the split preserves the exact global
 // dispatch order).
 type Engine struct {
-	now    Time
-	seq    uint64
-	events uint64 // total dispatched
-	live   int    // queued and not canceled
+	now     Time
+	seq     uint64
+	events  uint64 // total dispatched
+	live    int    // queued and not canceled
+	immHits uint64 // events that took the zero-delay ring fast path
+	heapMax int    // high-water mark of the timer heap
 
 	slots []eventSlot
 	free  int32 // head of the free-slot list, -1 when empty
@@ -86,9 +88,35 @@ func (e *Engine) Now() Time { return e.now }
 // Dispatched reports how many events have run so far.
 func (e *Engine) Dispatched() uint64 { return e.events }
 
-// Pending reports how many live events are queued. Canceled events awaiting
-// collection are not counted.
+// Pending reports how many live events are queued. An event leaves the
+// count the moment it is canceled or dispatched — not when its arena slot
+// is later collected — so Pending never includes canceled events still
+// parked in the heap or immediate ring awaiting lazy reaping, and a stale
+// Cancel (fired, already-canceled, or zero handle) leaves it unchanged.
 func (e *Engine) Pending() int { return e.live }
+
+// EngineStats is a snapshot of the engine's scheduler counters, the raw
+// material the obs package exposes as registered metrics.
+type EngineStats struct {
+	Dispatched    uint64 // events run so far
+	ImmediateHits uint64 // events that skipped the heap via the zero-delay ring
+	Pending       int    // live events queued now (canceled excluded)
+	HeapDepth     int    // current timer-heap size
+	MaxHeapDepth  int    // high-water mark of the timer heap
+	ArenaSlots    int    // event-arena capacity (slots ever allocated)
+}
+
+// Stats snapshots the scheduler counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Dispatched:    e.events,
+		ImmediateHits: e.immHits,
+		Pending:       e.live,
+		HeapDepth:     len(e.heap),
+		MaxHeapDepth:  e.heapMax,
+		ArenaSlots:    len(e.slots),
+	}
+}
 
 // alloc takes a slot off the free list (or grows the arena) and fills it.
 func (e *Engine) alloc(at Time, label string, fn func(now Time)) int32 {
@@ -145,6 +173,7 @@ func (e *Engine) ScheduleAt(at Time, label string, fn func(now Time)) EventID {
 	idx := e.alloc(at, label, fn)
 	if at == e.now {
 		e.imm = append(e.imm, idx)
+		e.immHits++
 	} else {
 		e.heapPush(idx)
 	}
@@ -291,6 +320,9 @@ func (e *Engine) less(a, b int32) bool {
 
 func (e *Engine) heapPush(idx int32) {
 	e.heap = append(e.heap, idx)
+	if len(e.heap) > e.heapMax {
+		e.heapMax = len(e.heap)
+	}
 	i := len(e.heap) - 1
 	for i > 0 {
 		parent := (i - 1) / 4

@@ -229,3 +229,73 @@ func TestEngineMonotonicProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Pending's count moves exactly when an event is canceled or dispatched —
+// never when its arena slot is later collected or reused — and stale
+// Cancels (fired, double-canceled, zero, or reused handles) leave it
+// unchanged.
+func TestEnginePendingStableAcrossCollection(t *testing.T) {
+	e := NewEngine()
+
+	// Canceling decrements immediately; the second Cancel of the same
+	// handle and Cancel(NoEvent) change nothing.
+	a := e.Schedule(Nanosecond, "a", func(Time) {})
+	imm := e.Schedule(0, "imm", func(Time) {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Cancel(a)
+	e.Cancel(imm) // canceled while parked in the immediate ring
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after cancels, want 0 (lazy reaping must not delay the count)", e.Pending())
+	}
+	e.Cancel(a)
+	e.Cancel(NoEvent)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after stale cancels, want 0", e.Pending())
+	}
+
+	// Run collects the canceled corpses; the count must not move again.
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after collection, want 0", e.Pending())
+	}
+
+	// A fresh event reuses a's slot. The stale handle must neither cancel
+	// it nor disturb the count.
+	fresh := e.Schedule(Nanosecond, "fresh", func(Time) {})
+	e.Cancel(a)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after stale cancel of reused slot, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after dispatch, want 0", e.Pending())
+	}
+	e.Cancel(fresh) // fired: no-op
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after canceling a fired event, want 0", e.Pending())
+	}
+}
+
+// Stats must be a consistent snapshot of the live accessors.
+func TestEngineStatsMatchesAccessors(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Nanosecond, "a", func(Time) {})
+	e.Schedule(0, "imm", func(Time) {})
+	s := e.Stats()
+	if s.Pending != e.Pending() || s.Dispatched != e.Dispatched() {
+		t.Fatalf("Stats %+v disagrees with Pending=%d Dispatched=%d", s, e.Pending(), e.Dispatched())
+	}
+	if s.ImmediateHits != 1 {
+		t.Fatalf("ImmediateHits = %d, want 1", s.ImmediateHits)
+	}
+	if s.MaxHeapDepth != 1 || s.HeapDepth != 1 {
+		t.Fatalf("heap depth %d/%d, want 1/1", s.HeapDepth, s.MaxHeapDepth)
+	}
+	e.Run()
+	s = e.Stats()
+	if s.Dispatched != 2 || s.Pending != 0 || s.HeapDepth != 0 || s.MaxHeapDepth != 1 {
+		t.Fatalf("after Run: %+v", s)
+	}
+}

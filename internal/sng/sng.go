@@ -27,8 +27,10 @@ package sng
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/psm"
 	"repro/internal/sim"
 )
@@ -51,10 +53,30 @@ type SnG struct {
 	// Unbalanced disables Drive-to-Idle's load-balanced sleeper
 	// distribution (ablation): every woken task lands on one worker.
 	Unbalanced bool
+
+	// Obs receives the SnG phase timeline: master-lane phase spans,
+	// per-core worker and offline spans, the commit instant, and the
+	// terminal budget-exceeded event when a run burns the hold-up window.
+	// nil (the default) disables tracing at zero cost.
+	Obs *obs.Tracer
+}
+
+// coreLane names core id's timeline row. Callers guard with Obs.Enabled()
+// so the name concatenation is never paid with tracing off.
+func coreLane(tr *obs.Tracer, id int) obs.Lane {
+	return tr.Lane("core" + strconv.Itoa(id))
 }
 
 // New builds an SnG over the kernel with default timing.
 func New(k *kernel.Kernel) *SnG { return &SnG{K: k, T: DefaultTiming()} }
+
+// PhaseSpan is one contiguous named phase of a Stop or Go run, in the run's
+// own timeline.
+type PhaseSpan struct {
+	Name  string
+	Start sim.Time
+	Dur   sim.Duration
+}
 
 // StopReport decomposes one Stop run (Figure 8b).
 type StopReport struct {
@@ -63,9 +85,20 @@ type StopReport struct {
 	Offline     sim.Duration // core offline + bootloader + commit
 	Total       sim.Duration
 
+	// Budget is the hold-up window the run was given (deadline - start).
+	Budget sim.Duration
+
+	// Phases lists the named phase spans in execution order; their
+	// durations sum to Total.
+	Phases []PhaseSpan
+
 	// Completed reports whether the commit was written before the
 	// deadline.
 	Completed bool
+
+	// OverrunPhase names the phase that was charging time when the
+	// deadline expired ("" when the run completed).
+	OverrunPhase string
 
 	WokenSleepers  int
 	ParkedTasks    int
@@ -74,15 +107,23 @@ type StopReport struct {
 	Peripherals    int
 }
 
-// stopRun tracks master time against the deadline.
+// stopRun tracks master time against the deadline and attributes an
+// overrun to the phase that burned it.
 type stopRun struct {
 	t        sim.Time
 	deadline sim.Time
 	dead     bool
+
+	phase   string // phase currently charging time
+	overrun string // phase that burned the deadline ("" while alive)
+	tr      *obs.Tracer
+	lane    obs.Lane
 }
 
 // spend charges d to the master timeline; it reports false once the rails
-// have dropped (no further state change may be applied).
+// have dropped (no further state change may be applied). The first
+// overrunning spend records the owing phase and emits the terminal
+// budget-exceeded event at the instant the rails dropped.
 func (r *stopRun) spend(d sim.Duration) bool {
 	if r.dead {
 		return false
@@ -90,6 +131,11 @@ func (r *stopRun) spend(d sim.Duration) bool {
 	r.t = r.t.Add(d)
 	if r.t.After(r.deadline) {
 		r.dead = true
+		r.overrun = r.phase
+		if r.tr.Enabled() {
+			r.tr.InstantArg(r.deadline, r.lane, "sng", "budget-exceeded: "+r.phase,
+				"overdraw_ps", int64(r.t.Sub(r.deadline)))
+		}
 		return false
 	}
 	return true
@@ -101,11 +147,16 @@ func (r *stopRun) spend(d sim.Duration) bool {
 // unrecoverable-by-design: no commit) system.
 func (s *SnG) Stop(now, deadline sim.Time) StopReport {
 	var rep StopReport
-	run := &stopRun{t: now, deadline: deadline}
+	rep.Budget = deadline.Sub(now)
+	tr := s.Obs
+	masterLane := tr.Lane("master")
+	run := &stopRun{t: now, deadline: deadline, tr: tr, lane: masterLane}
 	k := s.K
 
 	// ---- Drive-to-Idle -------------------------------------------------
+	run.phase = "process-stop"
 	phaseStart := run.t
+	phaseSpan := tr.Begin(phaseStart, masterLane, "sng", "process-stop")
 	if run.spend(s.T.InterruptEntry) {
 		k.PersistFlag = true
 	}
@@ -169,6 +220,16 @@ func (s *SnG) Stop(now, deadline sim.Time) StopReport {
 				wmax = w
 			}
 		}
+		if tr.Enabled() {
+			// One parking span per busy worker, in parallel with the
+			// master walk.
+			for ci, w := range workers {
+				if w > 0 {
+					tr.SpanArg(phaseStart, phaseStart.Add(w), coreLane(tr, ci),
+						"sng", "park", "busy_ps", int64(w))
+				}
+			}
+		}
 		if tail := wmax - run.t.Sub(phaseStart); tail <= 0 || run.spend(tail) {
 			// Workers finished in time; nothing in this phase follows the
 			// barrier, so its deadline verdict is deliberately discarded.
@@ -176,11 +237,17 @@ func (s *SnG) Stop(now, deadline sim.Time) StopReport {
 		}
 	}
 	rep.ProcessStop = run.t.Sub(phaseStart)
+	tr.End(run.t, phaseSpan)
+	rep.Phases = append(rep.Phases, PhaseSpan{"process-stop", phaseStart, rep.ProcessStop})
 
 	// ---- Auto-Stop: stopping devices ------------------------------------
+	run.phase = "device-stop"
 	phaseStart = run.t
+	phaseSpan = tr.Begin(phaseStart, masterLane, "sng", "device-stop")
 	if !run.dead {
+		devLane := tr.Lane("devices")
 		for _, d := range k.Devices {
+			devStart := run.t
 			if !run.spend(d.PrepareCost) {
 				break
 			}
@@ -206,12 +273,17 @@ func (s *SnG) Stop(now, deadline sim.Time) StopReport {
 				}
 				rep.Peripherals++
 			}
+			tr.Span(devStart, run.t, devLane, "sng", d.Name)
 		}
 	}
 	rep.DeviceStop = run.t.Sub(phaseStart)
+	tr.End(run.t, phaseSpan)
+	rep.Phases = append(rep.Phases, PhaseSpan{"device-stop", phaseStart, rep.DeviceStop})
 
 	// ---- Auto-Stop: drawing the EP-cut ----------------------------------
+	run.phase = "offline"
 	phaseStart = run.t
+	phaseSpan = tr.Begin(phaseStart, masterLane, "sng", "offline")
 	if !run.dead {
 		// Clean the kernel task pointers so recovered cores synchronize.
 		for _, c := range k.Cores {
@@ -224,18 +296,24 @@ func (s *SnG) Stop(now, deadline sim.Time) StopReport {
 	if !run.dead {
 		// Workers offline one by one: dump registers, flush the cache,
 		// power down (master IPIs each).
-		for _, c := range k.Cores[1:] {
+		for ci, c := range k.Cores[1:] {
+			offStart := run.t
 			if !run.spend(s.T.IPI + s.T.RegisterDump) {
 				break
 			}
 			k.Boot.SaveCoreRegisters(c)
-			flush := sim.Duration(c.DirtyLines) * s.T.FlushPerLine
+			dirty := c.DirtyLines
+			flush := sim.Duration(dirty) * s.T.FlushPerLine
 			if !run.spend(flush + s.T.CoreOffline) {
 				break
 			}
-			rep.FlushedLines += c.DirtyLines
+			rep.FlushedLines += dirty
 			c.DirtyLines = 0
 			c.Online = false
+			if tr.Enabled() {
+				tr.SpanArg(offStart, run.t, coreLane(tr, ci+1),
+					"sng", "offline", "flushed_lines", int64(dirty))
+			}
 		}
 	}
 	if !run.dead {
@@ -268,13 +346,17 @@ func (s *SnG) Stop(now, deadline sim.Time) StopReport {
 						k.Boot.Commit()
 						master.Online = false
 						rep.Completed = true
+						tr.Instant(run.t, run.lane, "sng", "commit")
 					}
 				}
 			}
 		}
 	}
 	rep.Offline = run.t.Sub(phaseStart)
+	tr.End(run.t, phaseSpan)
+	rep.Phases = append(rep.Phases, PhaseSpan{"offline", phaseStart, rep.Offline})
 	rep.Total = rep.ProcessStop + rep.DeviceStop + rep.Offline
+	rep.OverrunPhase = run.overrun
 	return rep
 }
 
@@ -286,6 +368,10 @@ type GoReport struct {
 	ProcessResume sim.Duration
 	Total         sim.Duration
 
+	// Phases lists the named phase spans in execution order; their
+	// durations sum to Total.
+	Phases []PhaseSpan
+
 	ResumedTasks   int
 	ResumedDevices int
 }
@@ -296,12 +382,17 @@ type GoReport struct {
 func (s *SnG) Go(now sim.Time) (GoReport, error) {
 	var rep GoReport
 	k := s.K
+	tr := s.Obs
+	masterLane := tr.Lane("master")
 	t := now
 
 	// Phase 0: bootloader checks the Stop commit.
+	bootSpan := tr.Begin(now, masterLane, "sng", "boot-check")
 	t = t.Add(s.T.BootCheck)
 	if !k.Boot.HasCommit() {
 		rep.BootCheck = t.Sub(now)
+		tr.End(t, bootSpan)
+		rep.Phases = append(rep.Phases, PhaseSpan{"boot-check", now, rep.BootCheck})
 		rep.Total = rep.BootCheck
 		return rep, ErrNoCommit
 	}
@@ -314,22 +405,32 @@ func (s *SnG) Go(now sim.Time) (GoReport, error) {
 		return rep, fmt.Errorf("sng: corrupt BCB: MEPC %#x", mepc)
 	}
 	rep.BootCheck = t.Sub(now)
+	tr.End(t, bootSpan)
+	rep.Phases = append(rep.Phases, PhaseSpan{"boot-check", now, rep.BootCheck})
 
 	// Phase 1: power workers up one by one; they wait on the task
 	// pointers until the master hands them the idle task.
 	phase := t
-	for _, c := range k.Cores[1:] {
+	phaseSpan := tr.Begin(phase, masterLane, "sng", "core-bring-up")
+	for ci, c := range k.Cores[1:] {
+		up := t
 		t = t.Add(s.T.CoreBringUp + s.T.IPI)
 		c.Online = true
 		k.Boot.RestoreCoreRegisters(c)
 		c.KTaskPtr = 0xCAFE0000 + uint64(c.ID)
 		c.KStackPtr = 0xBEEF0000 + uint64(c.ID)
 		c.Idle = true
+		if tr.Enabled() {
+			tr.Span(up, t, coreLane(tr, ci+1), "sng", "bring-up")
+		}
 	}
 	rep.CoreBringUp = t.Sub(phase)
+	tr.End(t, phaseSpan)
+	rep.Phases = append(rep.Phases, PhaseSpan{"core-bring-up", phase, rep.CoreBringUp})
 
 	// Phase 2: revive devices in inverse dpm order.
 	phase = t
+	phaseSpan = tr.Begin(phase, masterLane, "sng", "device-resume")
 	for i := len(k.Devices) - 1; i >= 0; i-- {
 		d := k.Devices[i]
 		if d.State != kernel.DevOff {
@@ -351,10 +452,13 @@ func (s *SnG) Go(now sim.Time) (GoReport, error) {
 		rep.ResumedDevices++
 	}
 	rep.DeviceResume = t.Sub(phase)
+	tr.End(t, phaseSpan)
+	rep.Phases = append(rep.Phases, PhaseSpan{"device-resume", phase, rep.DeviceResume})
 
 	// Phase 3: restore wear-leveler state, flush TLBs, requeue tasks
 	// (kernel threads first, then user), and schedule.
 	phase = t
+	phaseSpan = tr.Begin(phase, masterLane, "sng", "process-resume")
 	if s.P != nil {
 		if wl := s.P.WearLeveler(); wl != nil {
 			m := k.Boot.WearMeta()
@@ -394,6 +498,8 @@ func (s *SnG) Go(now sim.Time) (GoReport, error) {
 	// a fresh EP-cut.
 	k.Boot.ClearCommit()
 	rep.ProcessResume = t.Sub(phase)
+	tr.End(t, phaseSpan)
+	rep.Phases = append(rep.Phases, PhaseSpan{"process-resume", phase, rep.ProcessResume})
 	rep.Total = t.Sub(now)
 	return rep, nil
 }
