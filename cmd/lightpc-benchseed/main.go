@@ -122,7 +122,9 @@ func main() {
 	// allocs/op is the number under regression watch (it must stay 0).
 	// internal/obs: the disabled-instrument overhead benches, under the same
 	// 0 allocs/op watch — a platform built without a tracer must pay nothing.
-	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchtime=1x", "-benchmem", "-count=1", ".", "./internal/sim", "./internal/obs")
+	// internal/linetab: the paged device-metadata tables, whose steady-state
+	// Get/Set/Flight paths are also pinned at 0 allocs/op.
+	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchtime=1x", "-benchmem", "-count=1", ".", "./internal/sim", "./internal/obs", "./internal/linetab")
 	bout, err := cmd.CombinedOutput()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lightpc-benchseed: go test -bench: %v\n%s", err, bout)

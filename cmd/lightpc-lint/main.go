@@ -4,7 +4,7 @@
 //	go build -o bin/lightpc-lint ./cmd/lightpc-lint
 //	go vet -vettool=$(pwd)/bin/lightpc-lint ./...
 //
-// (or simply `make lint`). It bundles five analyzers that enforce, at vet
+// (or simply `make lint`). It bundles six analyzers that enforce, at vet
 // time, the invariants the reproduction otherwise only checks dynamically:
 //
 //	nodeterminism  no wall-clock time or ambient randomness in internal/;
@@ -20,6 +20,9 @@
 //	obsdeterminism internal/obs may never read the host clock or range a
 //	               map, in any file including tests: exported trace and
 //	               metric bytes are a pure function of sim time
+//	hotpath        the device hot packages (pram, memctrl, psm) may not
+//	               hold map[uint64]-keyed fields; per-line metadata lives
+//	               on internal/linetab's paged tables
 //
 // Findings can be suppressed in place with a reasoned directive:
 //
@@ -28,6 +31,7 @@ package main
 
 import (
 	"repro/internal/lint/epcutorder"
+	"repro/internal/lint/hotpath"
 	"repro/internal/lint/maporder"
 	"repro/internal/lint/nodeterminism"
 	"repro/internal/lint/obsdeterminism"
@@ -42,5 +46,6 @@ func main() {
 		maporder.Analyzer,
 		simtime.Analyzer,
 		obsdeterminism.Analyzer,
+		hotpath.Analyzer,
 	)
 }

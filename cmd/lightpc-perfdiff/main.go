@@ -4,14 +4,21 @@
 // time or allocation count regressed by more than a threshold.
 //
 // The snapshots are single-iteration runs, so the comparison is a smoke
-// gate, not a statistics engine: CI runs it report-only (the job prints the
-// table and always succeeds), and -strict turns regressions into a non-zero
-// exit for local pre-merge checks.
+// gate, not a statistics engine: CI runs it with time deltas report-only,
+// and -strict turns regressions into a non-zero exit for local pre-merge
+// checks.
+//
+// Allocation counts, unlike times, are deterministic, so -strict-zero-alloc
+// promotes one class of regression to a hard failure even without -strict:
+// any benchmark the baseline pins at 0 allocs/op that now allocates. (The
+// percentage machinery cannot express 0 -> N, so without this flag such a
+// regression passes silently.) CI runs with -strict-zero-alloc.
 //
 // Usage:
 //
 //	lightpc-perfdiff -old BENCH_SEED.json -new /tmp/new.json
 //	lightpc-perfdiff -old BENCH_SEED.json -new /tmp/new.json -threshold 10 -strict
+//	lightpc-perfdiff -old BENCH_SEED.json -new /tmp/new.json -strict-zero-alloc
 package main
 
 import (
@@ -76,8 +83,9 @@ func main() {
 	var (
 		oldPath   = flag.String("old", "BENCH_SEED.json", "baseline snapshot")
 		newPath   = flag.String("new", "", "candidate snapshot (required)")
-		threshold = flag.Float64("threshold", 10, "regression threshold in percent")
-		strict    = flag.Bool("strict", false, "exit non-zero when a regression exceeds the threshold")
+		threshold  = flag.Float64("threshold", 10, "regression threshold in percent")
+		strict     = flag.Bool("strict", false, "exit non-zero when a regression exceeds the threshold")
+		strictZero = flag.Bool("strict-zero-alloc", false, "exit non-zero when a benchmark pinned at 0 allocs/op now allocates")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -103,7 +111,7 @@ func main() {
 
 	fmt.Printf("%-34s %14s %14s %8s %10s %10s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "time", "old allocs", "new allocs", "allocs")
-	var regressions []string
+	var regressions, zeroAllocBroken []string
 	matched := make(map[string]bool, len(newSeed.Benches))
 	for _, nb := range newSeed.Benches {
 		ob, ok := oldBy[nb.Name]
@@ -125,6 +133,10 @@ func main() {
 		if d, ok := deltaPct(ob.AllocsPerOp, nb.AllocsPerOp); ok && d > *threshold {
 			regressions = append(regressions, fmt.Sprintf("%s: allocs/op %+.1f%%", nb.Name, d))
 		}
+		if ob.AllocsPerOp == 0 && nb.AllocsPerOp > 0 {
+			zeroAllocBroken = append(zeroAllocBroken,
+				fmt.Sprintf("%s: allocs/op 0 -> %.0f", nb.Name, nb.AllocsPerOp))
+		}
 	}
 	for _, ob := range oldSeed.Benches {
 		if !matched[ob.Name] {
@@ -138,6 +150,20 @@ func main() {
 			oldSeed.ParallelMs, newSeed.ParallelMs, fmtDelta(oldSeed.ParallelMs, newSeed.ParallelMs))
 	}
 
+	fail := false
+	sort.Strings(zeroAllocBroken)
+	if len(zeroAllocBroken) > 0 {
+		fmt.Printf("\n%d pinned 0-alloc benchmark(s) now allocate:\n", len(zeroAllocBroken))
+		for _, r := range zeroAllocBroken {
+			fmt.Printf("  ZERO-ALLOC REGRESSION %s\n", r)
+		}
+		if *strictZero || *strict {
+			fail = true
+		} else {
+			fmt.Println("(report-only: pass -strict-zero-alloc to fail on these)")
+		}
+	}
+
 	sort.Strings(regressions)
 	if len(regressions) > 0 {
 		fmt.Printf("\n%d regression(s) beyond %.0f%%:\n", len(regressions), *threshold)
@@ -145,10 +171,14 @@ func main() {
 			fmt.Printf("  REGRESSION %s\n", r)
 		}
 		if *strict {
-			os.Exit(1)
+			fail = true
+		} else {
+			fmt.Println("(report-only: pass -strict to fail on regressions)")
 		}
-		fmt.Println("(report-only: pass -strict to fail on regressions)")
-		return
+	} else {
+		fmt.Printf("\nno regressions beyond %.0f%%\n", *threshold)
 	}
-	fmt.Printf("\nno regressions beyond %.0f%%\n", *threshold)
+	if fail {
+		os.Exit(1)
+	}
 }

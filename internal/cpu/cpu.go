@@ -103,7 +103,6 @@ func Run(cfg Config, start sim.Time, gens []workload.Generator, backend cache.Ba
 		pos   int            // next unconsumed ref
 		fill  int            // valid refs in batch
 		now   sim.Time
-		done  bool
 	}
 	cores := make([]coreState, 0, len(gens))
 	backing := make([]workload.Ref, len(gens)*workload.DefaultBatchSize)
@@ -115,26 +114,53 @@ func Run(cfg Config, start sim.Time, gens []workload.Generator, backend cache.Ba
 		})
 	}
 
-	var res Result
-	active := len(cores)
-	for active > 0 {
-		// Advance the core that is earliest in simulated time.
-		ci := -1
-		for i := range cores {
-			if cores[i].done {
-				continue
+	// Per-instruction-count cycle durations repeat endlessly (synthetic
+	// compute gaps are capped well under the table size), so cache the exact
+	// sim.Cycles results instead of redoing the float conversion per ref.
+	// The hit cost is loop-invariant.
+	var cycleLUT [128]sim.Duration
+	for i := range cycleLUT {
+		cycleLUT[i] = sim.Cycles(int64(i), cfg.FreqHz)
+	}
+	hitDur := sim.Cycles(int64(cfg.HitCycles), cfg.FreqHz)
+
+	// order holds the active core indices sorted by (now, index): the head
+	// is always the core the old argmin scan would pick (strict Before
+	// comparison = lowest index wins ties), maintained incrementally by
+	// re-inserting the advanced core instead of rescanning every ref.
+	order := make([]int32, len(cores))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	// reinsert sinks the advanced head core to its sorted position; only
+	// the head's time changes per iteration, so the rest of order stays
+	// sorted.
+	reinsert := func(ci int32) {
+		t := cores[ci].now
+		j := 0
+		for j+1 < len(order) {
+			ni := order[j+1]
+			nt := cores[ni].now
+			if t.Before(nt) || (t == nt && ci < ni) {
+				break
 			}
-			if ci < 0 || cores[i].now.Before(cores[ci].now) {
-				ci = i
-			}
+			order[j] = ni
+			j++
 		}
+		order[j] = ci
+	}
+
+	var res Result
+	for len(order) > 0 {
+		// Advance the core that is earliest in simulated time.
+		ci := order[0]
 		c := &cores[ci]
 		if c.pos == c.fill {
 			c.fill = workload.FillBatch(c.gen, c.batch)
 			c.pos = 0
 			if c.fill == 0 {
-				c.done = true
-				active--
+				copy(order, order[1:])
+				order = order[:len(order)-1]
 				continue
 			}
 		}
@@ -144,10 +170,15 @@ func Run(cfg Config, start sim.Time, gens []workload.Generator, backend cache.Ba
 		instr := ref.ComputeCycles + 1
 		res.Instructions += uint64(instr)
 		res.MemOps++
-		c.now = c.now.Add(sim.Cycles(int64(instr), cfg.FreqHz))
+		if instr >= 0 && instr < len(cycleLUT) {
+			c.now = c.now.Add(cycleLUT[instr])
+		} else {
+			c.now = c.now.Add(sim.Cycles(int64(instr), cfg.FreqHz))
+		}
 
 		if ref.L1Hit {
-			c.now = c.now.Add(sim.Cycles(int64(cfg.HitCycles), cfg.FreqHz))
+			c.now = c.now.Add(hitDur)
+			reinsert(ci)
 			continue
 		}
 		if ref.Access.Op == trace.OpRead {
@@ -163,6 +194,7 @@ func Run(cfg Config, start sim.Time, gens []workload.Generator, backend cache.Ba
 			res.StallTime += stall
 			c.now = c.now.Add(stall)
 		}
+		reinsert(ci)
 	}
 
 	end := start

@@ -1,0 +1,7 @@
+// Package coldpkg is outside the declared hot packages: map[uint64] fields
+// are allowed here (experiments bookkeeping, report assembly, ...).
+package coldpkg
+
+type Ledger struct {
+	perLine map[uint64]uint64
+}

@@ -1,0 +1,7 @@
+// Package memctrl is a hot-package fixture.
+package memctrl
+
+type NMEM struct {
+	lines map[uint64]uint64 // want `map\[uint64\]-keyed field lines`
+	sets  uint64
+}

@@ -1,0 +1,10 @@
+// Package psm is a hot-package fixture: the uint64-keyed line map is
+// flagged; the composite-keyed device map is the sanctioned exception.
+package psm
+
+type devKey struct{ dimm, dev int }
+
+type DataStore struct {
+	lines    map[uint64][]byte // want `map\[uint64\]-keyed field lines`
+	deadDevs map[devKey]bool
+}

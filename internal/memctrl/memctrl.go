@@ -13,6 +13,7 @@ package memctrl
 
 import (
 	"repro/internal/dram"
+	"repro/internal/linetab"
 	"repro/internal/pmemdimm"
 	"repro/internal/psm"
 	"repro/internal/sim"
@@ -119,8 +120,8 @@ type NMEM struct {
 
 	blockBits uint
 	// lines maps cache-set -> tag<<1 | dirty, folding the tag array and
-	// dirty bits into one map so the hot hit path costs a single lookup.
-	lines map[uint64]uint64
+	// dirty bits into one table so the hot hit path costs a single lookup.
+	lines *linetab.Table
 
 	sets uint64
 
@@ -143,7 +144,7 @@ func NewNMEM(d *DRAMController, p *pmemdimm.DIMM, cfg NMEMConfig) *NMEM {
 		dram:      d,
 		pmem:      p,
 		blockBits: 12,
-		lines:     make(map[uint64]uint64),
+		lines:     linetab.NewTable(),
 		sets:      cfg.CacheBlocks,
 	}
 }
@@ -155,12 +156,12 @@ func (n *NMEM) setAndTag(addr uint64) (set, tag uint64) {
 
 func (n *NMEM) access(now sim.Time, addr uint64, write bool) sim.Time {
 	set, tag := n.setAndTag(addr)
-	line, ok := n.lines[set]
+	line, ok := n.lines.Get(set)
 	curTag := line >> 1
 	if ok && curTag == tag {
 		n.hits.Inc()
 		if write {
-			n.lines[set] = line | 1
+			n.lines.Set(set, line|1)
 			return n.dram.Write(now, addr)
 		}
 		return n.dram.Read(now, addr)
@@ -184,7 +185,7 @@ func (n *NMEM) access(now sim.Time, addr uint64, write bool) sim.Time {
 	if write {
 		line |= 1
 	}
-	n.lines[set] = line
+	n.lines.Set(set, line)
 	return sim.Max(pmemDone, dramDone)
 }
 

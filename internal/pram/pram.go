@@ -14,6 +14,7 @@ package pram
 import (
 	"fmt"
 
+	"repro/internal/linetab"
 	"repro/internal/sim"
 )
 
@@ -66,11 +67,13 @@ type Device struct {
 
 	// busyUntil serializes the device command interface.
 	busyUntil sim.Time
-	// inFlight maps row -> completion time of an in-progress program
-	// operation (the cooling window).
-	inFlight map[uint64]sim.Time
+	// inFlight tracks row -> completion time of in-progress program
+	// operations (the cooling windows). Its watermark makes the common
+	// "nothing cooling" case a single compare, and it prunes expired
+	// windows on insert, so write-only phases stay bounded too.
+	inFlight linetab.Flight
 
-	wear        map[uint64]uint64
+	wear        *linetab.Counters
 	reads       sim.Counter
 	writes      sim.Counter
 	conflicts   sim.Counter // reads that found the target row programming
@@ -80,12 +83,11 @@ type Device struct {
 // NewDevice builds a device from the config.
 func NewDevice(cfg DeviceConfig) *Device {
 	d := &Device{
-		cfg:      cfg,
-		rng:      sim.NewRNG(cfg.Seed),
-		inFlight: make(map[uint64]sim.Time),
+		cfg: cfg,
+		rng: sim.NewRNG(cfg.Seed),
 	}
 	if cfg.TrackWear {
-		d.wear = make(map[uint64]uint64)
+		d.wear = linetab.NewCounters()
 	}
 	return d
 }
@@ -99,24 +101,10 @@ func (d *Device) checkRow(row uint64) {
 	}
 }
 
-// prune drops finished in-flight writes to bound the map; called
-// opportunistically.
-func (d *Device) prune(now sim.Time) {
-	if len(d.inFlight) < 64 {
-		return
-	}
-	for row, done := range d.inFlight {
-		if done <= now {
-			delete(d.inFlight, row)
-		}
-	}
-}
-
 // Busy reports whether the row is inside a programming/cooling window at
 // time now (the read-after-write hazard the PSM's XCC resolves).
 func (d *Device) Busy(now sim.Time, row uint64) bool {
-	done, ok := d.inFlight[row]
-	return ok && done > now
+	return d.inFlight.Busy(now, row)
 }
 
 // Read senses one granule at row. It returns the completion time, whether
@@ -131,11 +119,13 @@ func (d *Device) Read(now sim.Time, row uint64) (done sim.Time, conflicted, corr
 	d.checkRow(row)
 	d.reads.Inc()
 	start := sim.Max(now, d.busyUntil)
-	if end, ok := d.inFlight[row]; ok && end > start {
-		// Must wait for the thermal core to cool before sensing.
-		start = end
-		conflicted = true
-		d.conflicts.Inc()
+	if !d.inFlight.Quiet(start) {
+		if end, ok := d.inFlight.End(row); ok && end > start {
+			// Must wait for the thermal core to cool before sensing.
+			start = end
+			conflicted = true
+			d.conflicts.Inc()
+		}
 	}
 	done = start.Add(d.cfg.ReadLatency)
 	d.busyUntil = done
@@ -143,18 +133,17 @@ func (d *Device) Read(now sim.Time, row uint64) (done sim.Time, conflicted, corr
 		corrupted = true
 		d.errInjected.Inc()
 	}
-	if d.cfg.EnduranceCycles > 0 && d.wear != nil && d.wear[row] > d.cfg.EnduranceCycles {
+	if d.cfg.EnduranceCycles > 0 && d.wear != nil && d.wear.Get(row) > d.cfg.EnduranceCycles {
 		// The cell is worn out: set/reset switching no longer sticks.
 		corrupted = true
 		d.errInjected.Inc()
 	}
-	d.prune(now)
 	return done, conflicted, corrupted
 }
 
 // WornOut reports whether a row has exceeded its endurance budget.
 func (d *Device) WornOut(row uint64) bool {
-	return d.cfg.EnduranceCycles > 0 && d.wear != nil && d.wear[row] > d.cfg.EnduranceCycles
+	return d.cfg.EnduranceCycles > 0 && d.wear != nil && d.wear.Get(row) > d.cfg.EnduranceCycles
 }
 
 // Write programs one granule at row. The device accepts the command as soon
@@ -165,33 +154,28 @@ func (d *Device) Write(now sim.Time, row uint64) (accept, complete sim.Time) {
 	d.checkRow(row)
 	d.writes.Inc()
 	accept = sim.Max(now, d.busyUntil)
-	if end, ok := d.inFlight[row]; ok && end > accept {
-		// Overwrite of a still-cooling row: serialize behind it.
-		accept = end
+	if !d.inFlight.Quiet(accept) {
+		if end, ok := d.inFlight.End(row); ok && end > accept {
+			// Overwrite of a still-cooling row: serialize behind it.
+			accept = end
+		}
 	}
 	complete = accept.Add(d.cfg.WriteLatency)
 	// The command interface is released once the data is transferred;
 	// programming continues internally. Model the transfer as the read
 	// latency floor so back-to-back writes to different rows pipeline.
 	d.busyUntil = accept.Add(d.cfg.ReadLatency)
-	d.inFlight[row] = complete
+	d.inFlight.Set(now, row, complete)
 	if d.wear != nil {
-		d.wear[row]++
+		d.wear.Inc(row)
 	}
-	d.prune(now)
 	return accept, complete
 }
 
 // Drain reports when every in-flight program completes; the PSM flush port
 // uses this to guarantee no early-returned write is still pending.
 func (d *Device) Drain(now sim.Time) sim.Time {
-	t := now
-	for _, done := range d.inFlight {
-		if done > t {
-			t = done
-		}
-	}
-	return t
+	return d.inFlight.Drain(now)
 }
 
 // WearCount reports the writes recorded against row (0 unless TrackWear).
@@ -199,21 +183,24 @@ func (d *Device) WearCount(row uint64) uint64 {
 	if d.wear == nil {
 		return 0
 	}
-	return d.wear[row]
+	return d.wear.Get(row)
 }
 
 // MaxWear reports the highest per-row write count and its row.
 func (d *Device) MaxWear() (row, count uint64) {
-	for r, c := range d.wear {
-		if c > count {
-			row, count = r, c
-		}
+	if d.wear == nil {
+		return 0, 0
 	}
-	return row, count
+	return d.wear.Max()
 }
 
 // TouchedRows reports how many distinct rows have been written (TrackWear).
-func (d *Device) TouchedRows() int { return len(d.wear) }
+func (d *Device) TouchedRows() int {
+	if d.wear == nil {
+		return 0
+	}
+	return d.wear.Touched()
+}
 
 // Stats reports cumulative counters.
 func (d *Device) Stats() (reads, writes, conflicts, errors uint64) {

@@ -1,0 +1,55 @@
+package pram
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The old map-based inFlight only pruned from Read, so a write-only phase —
+// a flush storm draining dirty lines, no interleaved reads — grew the map
+// without bound. The Flight structure prunes on insert; these tests pin the
+// fixed footprint and the zero-allocation steady state under exactly that
+// workload.
+
+func TestWriteStormBoundedMemory(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewDevice(cfg)
+	now := sim.Time(0)
+	for i := uint64(0); i < 1_000_000; i++ {
+		// Distinct rows, spaced so each cooling window has expired by the
+		// time the next write lands — the degenerate case that used to
+		// accumulate one map entry per write.
+		_, complete := d.Write(now, i)
+		now = complete.Add(cfg.WriteLatency)
+	}
+	if got := d.inFlight.Cap(); got > 1024 {
+		t.Fatalf("inFlight arena = %d slots after 1M no-read writes; not bounded", got)
+	}
+	if reads, writes, _, _ := d.Stats(); reads != 0 || writes != 1_000_000 {
+		t.Fatalf("Stats = (%d reads, %d writes), want (0, 1000000)", reads, writes)
+	}
+}
+
+func TestWriteStormSteadyStateAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrackWear = true
+	d := NewDevice(cfg)
+	now := sim.Time(0)
+	const rows = 1 << 12
+	for i := uint64(0); i < rows; i++ { // warm the wear pages and the arena
+		_, complete := d.Write(now, i)
+		now = complete
+	}
+	row := uint64(0)
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 1024; i++ {
+			_, complete := d.Write(now, row)
+			now = complete.Add(cfg.WriteLatency)
+			row = (row + 1) & (rows - 1)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("write-storm steady state allocs/run = %v, want 0", allocs)
+	}
+}

@@ -3,9 +3,9 @@ package psm
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/ecc"
+	"repro/internal/linetab"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -22,8 +22,8 @@ import (
 type DataStore struct {
 	psm *PSM
 
-	lines    map[uint64][]byte // line -> 64 B content
-	rsWords  map[uint64][]byte // line -> RS codeword (when hybrid on)
+	lines    *linetab.Slab // line -> 64 B content, slab-packed
+	rsWords  *linetab.Slab // line -> RS codeword (when hybrid on)
 	rs       *ecc.RS
 	deadDevs map[devKey]bool
 
@@ -44,12 +44,12 @@ var ErrDataLoss = errors.New("psm: data loss — granules dead beyond ECC covera
 func NewDataStore(p *PSM) *DataStore {
 	ds := &DataStore{
 		psm:      p,
-		lines:    make(map[uint64][]byte),
+		lines:    linetab.NewSlab(trace.CacheLineSize),
 		deadDevs: make(map[devKey]bool),
 	}
 	if p.cfg.SymbolECC {
 		ds.rs = ecc.NewRS(8)
-		ds.rsWords = make(map[uint64][]byte)
+		ds.rsWords = linetab.NewSlab(trace.CacheLineSize + ds.rs.ParitySymbols())
 	}
 	return ds
 }
@@ -95,11 +95,9 @@ func (ds *DataStore) WriteData(now sim.Time, line uint64, data []byte) sim.Time 
 	if len(data) != trace.CacheLineSize {
 		panic(fmt.Sprintf("psm: WriteData needs 64 B, got %d", len(data)))
 	}
-	buf := make([]byte, trace.CacheLineSize)
-	copy(buf, data)
-	ds.lines[line] = buf
+	ds.lines.Put(line, data)
 	if ds.rs != nil {
-		ds.rsWords[line] = ds.rs.Encode(buf)
+		ds.rsWords.Put(line, ds.rs.Encode(data))
 	}
 	return ds.psm.Write(now, line)
 }
@@ -111,7 +109,7 @@ func (ds *DataStore) WriteData(now sim.Time, line uint64, data []byte) sim.Time 
 // rides the PSM's model (reconstruction reads / symbol decode latency).
 func (ds *DataStore) ReadData(now sim.Time, line uint64) ([]byte, sim.Time, error) {
 	done := ds.psm.Read(now, line)
-	stored, ok := ds.lines[line]
+	stored, ok := ds.lines.Get(line)
 	if !ok {
 		// Never written: PRAM reads back zeroes.
 		return make([]byte, trace.CacheLineSize), done, nil
@@ -141,7 +139,8 @@ func (ds *DataStore) ReadData(now sim.Time, line uint64) ([]byte, sim.Time, erro
 		return rebuilt, done, nil
 	case ds.rs != nil:
 		// Two or more granule sets dead: the Section VIII symbol code.
-		word := append([]byte{}, ds.rsWords[line]...)
+		rw, _ := ds.rsWords.Get(line)
+		word := append([]byte{}, rw...)
 		// The dead granules read as erased zeroes; model as symbol errors
 		// within the code's reach (t=8 symbols); beyond that it fails.
 		damage := 0
@@ -172,17 +171,14 @@ func (ds *DataStore) ReadData(now sim.Time, line uint64) ([]byte, sim.Time, erro
 // device replacement. It returns the completion time.
 func (ds *DataStore) Scrub(now sim.Time) sim.Time {
 	t := now
-	lines := make([]uint64, 0, len(ds.lines))
-	for line := range ds.lines {
-		lines = append(lines, line)
-	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	lines := make([]uint64, 0, ds.lines.Len())
+	ds.lines.ForEach(func(line uint64, _ []byte) { lines = append(lines, line) })
 	for _, line := range lines {
 		out, _, err := ds.ReadData(t, line)
 		if err != nil {
 			// Unrecoverable lines keep their stored content (the caller
 			// decided to scrub anyway); refresh the codes.
-			out = ds.lines[line]
+			out, _ = ds.lines.Get(line)
 		}
 		t = ds.WriteData(t, line, out)
 	}
@@ -190,7 +186,7 @@ func (ds *DataStore) Scrub(now sim.Time) sim.Time {
 }
 
 // Lines reports how many lines carry content.
-func (ds *DataStore) Lines() int { return len(ds.lines) }
+func (ds *DataStore) Lines() int { return ds.lines.Len() }
 
 // RecoveryStats reports byte-level reconstructions served by each code.
 func (ds *DataStore) RecoveryStats() (xcc, symbol uint64) {

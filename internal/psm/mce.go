@@ -3,6 +3,7 @@ package psm
 import (
 	"fmt"
 
+	"repro/internal/linetab"
 	"repro/internal/sim"
 )
 
@@ -39,9 +40,11 @@ func (p MCEPolicy) String() string {
 	}
 }
 
-// mceState tracks policy bookkeeping.
+// mceState tracks policy bookkeeping. poisoned stays nil until the first
+// poison, so the per-read Poisoned check on a healthy machine is one nil
+// compare.
 type mceState struct {
-	poisoned map[uint64]bool
+	poisoned *linetab.Bits
 	resets   uint64
 	retries  uint64
 	poisons  uint64
@@ -67,9 +70,9 @@ func (p *PSM) handleUncontained(now sim.Time, line uint64) (sim.Time, bool) {
 	case MCEPoison:
 		p.mce.poisons++
 		if p.mce.poisoned == nil {
-			p.mce.poisoned = make(map[uint64]bool)
+			p.mce.poisoned = linetab.NewBits()
 		}
-		p.mce.poisoned[line] = true
+		p.mce.poisoned.Set(line)
 		p.raiseMCE(now, line)
 		return now, false
 	default: // MCEReset
@@ -85,7 +88,7 @@ func (p *PSM) resetForColdBoot() {
 }
 
 // Poisoned reports whether a line carries a poison marker (MCEPoison).
-func (p *PSM) Poisoned(line uint64) bool { return p.mce.poisoned[line] }
+func (p *PSM) Poisoned(line uint64) bool { return p.mce.poisoned.Get(line) }
 
 // MCECounters reports per-policy bookkeeping: resets performed, retries
 // attempted, lines poisoned.

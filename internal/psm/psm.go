@@ -142,6 +142,10 @@ type PSM struct {
 	mce        mceState
 	mceHandler func(now sim.Time, line uint64)
 
+	// drainScratch is the reused window-drain buffer (≤ 64 lines per
+	// window): window closes and flushes are the write hot path.
+	drainScratch []uint64
+
 	tr     *obs.Tracer
 	trLane obs.Lane
 }
@@ -161,10 +165,11 @@ func New(cfg Config) *PSM {
 		}
 	}
 	p := &PSM{
-		cfg:         cfg,
-		buffers:     make([]rowBuffer, cfg.Buffers),
-		readLat:     sim.NewHistogram(),
-		writeAckLat: sim.NewHistogram(),
+		cfg:          cfg,
+		buffers:      make([]rowBuffer, cfg.Buffers),
+		readLat:      sim.NewHistogram(),
+		writeAckLat:  sim.NewHistogram(),
+		drainScratch: make([]uint64, 0, 64),
 	}
 	for i := 0; i < cfg.DIMMs; i++ {
 		dc := cfg.NVDIMM
@@ -330,7 +335,8 @@ func (p *PSM) Write(now sim.Time, line uint64) sim.Time {
 	// Window miss: close the occupied window (programming every dirty
 	// line), then open the new one.
 	at := start
-	for _, dl := range rb.drain(p.cfg.WindowLines) {
+	p.drainScratch = rb.drainInto(p.cfg.WindowLines, p.drainScratch[:0])
+	for _, dl := range p.drainScratch {
 		t := p.program(at, dl)
 		if !p.cfg.EarlyReturn {
 			at = t
@@ -352,7 +358,8 @@ func (p *PSM) Flush(now sim.Time) sim.Time {
 	at := now.Add(p.cfg.PortLatency)
 	var drained int64
 	for i := range p.buffers {
-		for _, dl := range p.buffers[i].drain(p.cfg.WindowLines) {
+		p.drainScratch = p.buffers[i].drainInto(p.cfg.WindowLines, p.drainScratch[:0])
+		for _, dl := range p.drainScratch {
 			p.program(at, dl)
 			p.stats.DrainedOnFlushes++
 			drained++

@@ -37,23 +37,24 @@ func (rb *rowBuffer) isDirty(line, windowLines uint64) bool {
 		rb.dirty&dirtyBit(line, windowLines) != 0
 }
 
-// drain returns the dirty lines and empties the buffer.
-func (rb *rowBuffer) drain(windowLines uint64) []uint64 {
+// drainInto appends the dirty lines to buf and empties the buffer. Every
+// window close and flush drains; callers pass a reused scratch slice so the
+// hot path allocates nothing.
+func (rb *rowBuffer) drainInto(windowLines uint64, buf []uint64) []uint64 {
 	if !rb.open || rb.dirty == 0 {
 		rb.open = false
 		rb.dirty = 0
-		return nil
+		return buf
 	}
 	base := rb.window * windowLines
-	var lines []uint64
 	for i := uint64(0); i < windowLines && i < 64; i++ {
 		if rb.dirty&(1<<i) != 0 {
-			lines = append(lines, base+i)
+			buf = append(buf, base+i)
 		}
 	}
 	rb.open = false
 	rb.dirty = 0
-	return lines
+	return buf
 }
 
 // openWindow switches the buffer to a new window (caller drains first).
