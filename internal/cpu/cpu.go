@@ -97,13 +97,6 @@ func Run(cfg Config, start sim.Time, gens []workload.Generator, backend cache.Ba
 	if cfg.FreqHz <= 0 {
 		cfg.FreqHz = 4e8
 	}
-	type coreState struct {
-		gen   workload.Generator
-		batch []workload.Ref // window into the shared backing buffer
-		pos   int            // next unconsumed ref
-		fill  int            // valid refs in batch
-		now   sim.Time
-	}
 	cores := make([]coreState, 0, len(gens))
 	backing := make([]workload.Ref, len(gens)*workload.DefaultBatchSize)
 	for i, g := range gens {
@@ -114,88 +107,24 @@ func Run(cfg Config, start sim.Time, gens []workload.Generator, backend cache.Ba
 		})
 	}
 
+	il := &interleaver{cfg: cfg, cores: cores, backend: backend}
+
 	// Per-instruction-count cycle durations repeat endlessly (synthetic
 	// compute gaps are capped well under the table size), so cache the exact
 	// sim.Cycles results instead of redoing the float conversion per ref.
 	// The hit cost is loop-invariant.
-	var cycleLUT [128]sim.Duration
-	for i := range cycleLUT {
-		cycleLUT[i] = sim.Cycles(int64(i), cfg.FreqHz)
+	for i := range il.cycleLUT {
+		il.cycleLUT[i] = sim.Cycles(int64(i), cfg.FreqHz)
 	}
-	hitDur := sim.Cycles(int64(cfg.HitCycles), cfg.FreqHz)
+	il.hitDur = sim.Cycles(int64(cfg.HitCycles), cfg.FreqHz)
 
-	// order holds the active core indices sorted by (now, index): the head
-	// is always the core the old argmin scan would pick (strict Before
-	// comparison = lowest index wins ties), maintained incrementally by
-	// re-inserting the advanced core instead of rescanning every ref.
-	order := make([]int32, len(cores))
-	for i := range order {
-		order[i] = int32(i)
-	}
-	// reinsert sinks the advanced head core to its sorted position; only
-	// the head's time changes per iteration, so the rest of order stays
-	// sorted.
-	reinsert := func(ci int32) {
-		t := cores[ci].now
-		j := 0
-		for j+1 < len(order) {
-			ni := order[j+1]
-			nt := cores[ni].now
-			if t.Before(nt) || (t == nt && ci < ni) {
-				break
-			}
-			order[j] = ni
-			j++
-		}
-		order[j] = ci
+	il.order = make([]int32, len(cores))
+	for i := range il.order {
+		il.order[i] = int32(i)
 	}
 
 	var res Result
-	for len(order) > 0 {
-		// Advance the core that is earliest in simulated time.
-		ci := order[0]
-		c := &cores[ci]
-		if c.pos == c.fill {
-			c.fill = workload.FillBatch(c.gen, c.batch)
-			c.pos = 0
-			if c.fill == 0 {
-				copy(order, order[1:])
-				order = order[:len(order)-1]
-				continue
-			}
-		}
-		ref := c.batch[c.pos]
-		c.pos++
-		// Retire the compute gap plus the memory instruction itself.
-		instr := ref.ComputeCycles + 1
-		res.Instructions += uint64(instr)
-		res.MemOps++
-		if instr >= 0 && instr < len(cycleLUT) {
-			c.now = c.now.Add(cycleLUT[instr])
-		} else {
-			c.now = c.now.Add(sim.Cycles(int64(instr), cfg.FreqHz))
-		}
-
-		if ref.L1Hit {
-			c.now = c.now.Add(hitDur)
-			reinsert(ci)
-			continue
-		}
-		if ref.Access.Op == trace.OpRead {
-			res.ReadMisses++
-			done := backend.Read(c.now, ref.Access.Addr)
-			stall := sim.Duration(float64(done.Sub(c.now)) * cfg.ReadStallOverlap)
-			res.StallTime += stall
-			c.now = c.now.Add(stall)
-		} else {
-			res.WriteMisses++
-			ack := backend.Write(c.now, ref.Access.Addr)
-			stall := sim.Duration(float64(ack.Sub(c.now)) * cfg.WriteStallOverlap)
-			res.StallTime += stall
-			c.now = c.now.Add(stall)
-		}
-		reinsert(ci)
-	}
+	il.run(&res)
 
 	end := start
 	for i := range cores {
@@ -210,6 +139,105 @@ func Run(cfg Config, start sim.Time, gens []workload.Generator, backend cache.Ba
 		}
 	}
 	return res
+}
+
+// coreState tracks one core's reference stream and local clock.
+type coreState struct {
+	gen   workload.Generator
+	batch []workload.Ref // window into the shared backing buffer
+	pos   int            // next unconsumed ref
+	fill  int            // valid refs in batch
+	now   sim.Time
+}
+
+// interleaver advances the active cores in simulated-time order against
+// the shared backend. order holds the active core indices sorted by
+// (now, index): the head is always the core the old argmin scan would pick
+// (strict Before comparison = lowest index wins ties), maintained
+// incrementally by re-inserting the advanced core instead of rescanning
+// every ref.
+type interleaver struct {
+	cfg     Config
+	cores   []coreState
+	order   []int32
+	backend cache.Backend
+
+	cycleLUT [128]sim.Duration
+	hitDur   sim.Duration
+}
+
+// reinsert sinks the advanced head core to its sorted position; only the
+// head's time changes per iteration, so the rest of order stays sorted.
+//
+//lightpc:zeroalloc
+func (il *interleaver) reinsert(ci int32) {
+	t := il.cores[ci].now
+	j := 0
+	for j+1 < len(il.order) {
+		ni := il.order[j+1]
+		nt := il.cores[ni].now
+		if t.Before(nt) || (t == nt && ci < ni) {
+			break
+		}
+		il.order[j] = ni
+		j++
+	}
+	il.order[j] = ci
+}
+
+// run consumes every reference from every core, accumulating into res.
+// This is the per-ref hot loop behind BenchmarkRunHot: it may not allocate.
+//
+//lightpc:zeroalloc
+func (il *interleaver) run(res *Result) {
+	for len(il.order) > 0 {
+		// Advance the core that is earliest in simulated time.
+		ci := il.order[0]
+		c := &il.cores[ci]
+		if c.pos == c.fill {
+			//lint:allow zeroalloc refilling steps the generator, which owns its allocation budget
+			c.fill = workload.FillBatch(c.gen, c.batch)
+			c.pos = 0
+			if c.fill == 0 {
+				copy(il.order, il.order[1:])
+				il.order = il.order[:len(il.order)-1]
+				continue
+			}
+		}
+		ref := c.batch[c.pos]
+		c.pos++
+		// Retire the compute gap plus the memory instruction itself.
+		instr := ref.ComputeCycles + 1
+		res.Instructions += uint64(instr)
+		res.MemOps++
+		if instr >= 0 && instr < len(il.cycleLUT) {
+			c.now = c.now.Add(il.cycleLUT[instr])
+		} else {
+			c.now = c.now.Add(sim.Cycles(int64(instr), il.cfg.FreqHz))
+		}
+
+		if ref.L1Hit {
+			c.now = c.now.Add(il.hitDur)
+			il.reinsert(ci)
+			continue
+		}
+		if ref.Access.Op == trace.OpRead {
+			res.ReadMisses++
+			//lint:allow zeroalloc the backend is an interface by design; device implementations carry the fact
+			done := il.backend.Read(c.now, ref.Access.Addr)
+			stall := sim.Duration(float64(done.Sub(c.now)) * il.cfg.ReadStallOverlap)
+			res.StallTime += stall
+			c.now = c.now.Add(stall)
+		} else {
+			res.WriteMisses++
+			//lint:allow zeroalloc the backend is an interface by design; device implementations carry the fact
+			ack := il.backend.Write(c.now, ref.Access.Addr)
+			stall := sim.Duration(float64(ack.Sub(c.now)) * il.cfg.WriteStallOverlap)
+			res.StallTime += stall
+			c.now = c.now.Add(stall)
+		}
+		il.reinsert(ci)
+	}
 }
 
 // Fanout builds the generator set for a spec: multithreaded workloads get

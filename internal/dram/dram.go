@@ -75,6 +75,7 @@ func New(cfg Config) *DIMM {
 // Config reports the DIMM configuration.
 func (d *DIMM) Config() Config { return d.cfg }
 
+//lightpc:zeroalloc
 func (d *DIMM) bankAndRow(addr uint64) (int, uint64) {
 	row := addr / d.cfg.RowSize
 	return int(row % uint64(len(d.banks))), row
@@ -82,6 +83,8 @@ func (d *DIMM) bankAndRow(addr uint64) (int, uint64) {
 
 // refreshStall advances the refresh schedule and reports the earliest time
 // the rank can serve a request arriving at start.
+//
+//lightpc:zeroalloc
 func (d *DIMM) refreshStall(start sim.Time) sim.Time {
 	if d.cfg.RefreshInterval <= 0 {
 		return start
@@ -104,6 +107,8 @@ func (d *DIMM) refreshStall(start sim.Time) sim.Time {
 }
 
 // access performs the shared timing path for reads and writes.
+//
+//lightpc:zeroalloc
 func (d *DIMM) access(now sim.Time, addr uint64) (done sim.Time, rowHit bool) {
 	bi, row := d.bankAndRow(addr)
 	b := &d.banks[bi]
@@ -123,6 +128,8 @@ func (d *DIMM) access(now sim.Time, addr uint64) (done sim.Time, rowHit bool) {
 }
 
 // Read services a 64 B read and returns its completion time.
+//
+//lightpc:zeroalloc
 func (d *DIMM) Read(now sim.Time, addr uint64) sim.Time {
 	d.reads.Inc()
 	done, _ := d.access(now, addr)
@@ -131,6 +138,8 @@ func (d *DIMM) Read(now sim.Time, addr uint64) sim.Time {
 
 // Write services a 64 B write; DRAM writes complete at CAS speed and are
 // acknowledged at completion (no cooling window).
+//
+//lightpc:zeroalloc
 func (d *DIMM) Write(now sim.Time, addr uint64) sim.Time {
 	d.writes.Inc()
 	done, _ := d.access(now, addr)

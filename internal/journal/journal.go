@@ -62,6 +62,8 @@ func Open(dev *pmemdimm.SectorDevice) *Store {
 // Put stages a mutation: it lands in volatile memory and appends a log
 // record; durability requires Commit. Returns the time the append is
 // issued (the log write is posted).
+//
+//lightpc:journalappend
 func (s *Store) Put(now sim.Time, key, value uint64) sim.Time {
 	s.mem[key] = value
 	s.log = append(s.log, logRecord{key: key, value: value})
@@ -75,6 +77,8 @@ func (s *Store) Put(now sim.Time, key, value uint64) sim.Time {
 // Commit forces the log: a barrier (flush) makes every staged record
 // durable. This is the serialization point journaling pays per
 // transaction.
+//
+//lightpc:commitpoint
 func (s *Store) Commit(now sim.Time) sim.Time {
 	s.barriers++
 	// The barrier record itself plus the device-level force.

@@ -36,11 +36,15 @@ const flightMinSlots = 64
 
 // Quiet reports that nothing can be in flight at now: every end time ever
 // recorded has passed. This is the hot-path fast case.
+//
+//lightpc:zeroalloc
 func (f *Flight) Quiet(now sim.Time) bool { return now >= f.maxEnd }
 
 // End reports the recorded end time for key. Expired entries may or may
 // not still be present — callers compare the returned time against their
 // own clock, exactly as the map-based device did.
+//
+//lightpc:zeroalloc
 func (f *Flight) End(key uint64) (sim.Time, bool) {
 	if f.live == 0 {
 		return 0, false
@@ -58,6 +62,8 @@ func (f *Flight) End(key uint64) (sim.Time, bool) {
 }
 
 // Busy reports whether key has an operation still in flight at now.
+//
+//lightpc:zeroalloc
 func (f *Flight) Busy(now sim.Time, key uint64) bool {
 	if f.Quiet(now) {
 		return false
@@ -68,10 +74,14 @@ func (f *Flight) Busy(now sim.Time, key uint64) bool {
 
 // Drain reports when every in-flight operation has ended: the watermark is
 // exact because entries are only dropped once their end has passed.
+//
+//lightpc:zeroalloc
 func (f *Flight) Drain(now sim.Time) sim.Time { return sim.Max(now, f.maxEnd) }
 
 // Set records that key's operation ends at end. now is the caller's clock,
 // used to prune expired entries when the arena needs room.
+//
+//lightpc:zeroalloc
 func (f *Flight) Set(now sim.Time, key uint64, end sim.Time) {
 	if end < 0 {
 		panic("linetab: negative Flight end time")
@@ -80,7 +90,9 @@ func (f *Flight) Set(now sim.Time, key uint64, end sim.Time) {
 		f.maxEnd = end
 	}
 	if f.keys == nil {
+		//lint:allow zeroalloc one-time lazy arena init on the first in-flight op
 		f.keys = make([]uint64, flightMinSlots)
+		//lint:allow zeroalloc one-time lazy arena init on the first in-flight op
 		f.ends = make([]int64, flightMinSlots)
 		f.shift = 64 - 6
 	}
@@ -88,6 +100,7 @@ func (f *Flight) Set(now sim.Time, key uint64, end sim.Time) {
 	for i := hash64(key) >> f.shift; ; i = (i + 1) & mask {
 		if f.ends[i] == 0 {
 			if (f.live+1)*2 > len(f.keys) {
+				//lint:allow zeroalloc prune/grow is amortized; steady state stays at fixed capacity
 				f.rebuild(now)
 				mask = uint64(len(f.keys) - 1)
 				// Re-probe: the arena was rewritten under us.

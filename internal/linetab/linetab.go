@@ -44,6 +44,8 @@ const (
 const denseDirMax = 1 << 20
 
 // hash64 is the multiplicative hash shared by the spill table and Flight.
+//
+//lightpc:zeroalloc
 func hash64(x uint64) uint64 { return x * 0x9E3779B97F4A7C15 }
 
 // dirIndex is the sparse page directory: pageIdx -> page slot. The dense
@@ -59,6 +61,8 @@ type dirIndex struct {
 }
 
 // get reports the page slot for pageIdx, or -1.
+//
+//lightpc:zeroalloc
 func (d *dirIndex) get(pi uint64) int32 {
 	if pi < uint64(len(d.dense)) {
 		return d.dense[pi] - 1
@@ -78,6 +82,8 @@ func (d *dirIndex) get(pi uint64) int32 {
 }
 
 // put records pageIdx -> slot (pageIdx must not already be present).
+//
+//lightpc:zeroalloc
 func (d *dirIndex) put(pi uint64, slot int32) {
 	if pi < denseDirMax {
 		if pi >= uint64(len(d.dense)) {
@@ -91,6 +97,7 @@ func (d *dirIndex) put(pi uint64, slot int32) {
 			if grown > denseDirMax {
 				grown = denseDirMax
 			}
+			//lint:allow zeroalloc directory growth is amortized, first touch of a new page range
 			next := make([]int32, grown)
 			copy(next, d.dense)
 			d.dense = next
@@ -99,6 +106,7 @@ func (d *dirIndex) put(pi uint64, slot int32) {
 		return
 	}
 	if (d.spillLive+1)*2 > len(d.spillKeys) {
+		//lint:allow zeroalloc spill growth is amortized and only reached by adversarial indices
 		d.growSpill()
 	}
 	mask := uint64(len(d.spillKeys) - 1)
@@ -178,6 +186,8 @@ type counterPage [PageSize]uint64
 func NewCounters() *Counters { return &Counters{epoch: 1} }
 
 // page returns the current-epoch page holding idx, or nil.
+//
+//lightpc:zeroalloc
 func (c *Counters) page(idx uint64) *counterPage {
 	slot := c.dir.get(idx >> PageBits)
 	if slot < 0 || c.epochs[slot] != c.epoch {
@@ -188,12 +198,16 @@ func (c *Counters) page(idx uint64) *counterPage {
 
 // ensure returns the current-epoch page holding idx, creating or
 // revalidating it as needed.
+//
+//lightpc:zeroalloc
 func (c *Counters) ensure(idx uint64) *counterPage {
 	pi := idx >> PageBits
 	slot := c.dir.get(pi)
 	if slot < 0 {
 		slot = int32(len(c.pages))
+		//lint:allow zeroalloc page allocation happens once per page, on first touch
 		c.pages = append(c.pages, counterPage{})
+		//lint:allow zeroalloc page allocation happens once per page, on first touch
 		c.epochs = append(c.epochs, c.epoch)
 		c.dir.put(pi, slot)
 		return &c.pages[slot]
@@ -207,6 +221,8 @@ func (c *Counters) ensure(idx uint64) *counterPage {
 }
 
 // Get reports the counter at idx (zero when untouched).
+//
+//lightpc:zeroalloc
 func (c *Counters) Get(idx uint64) uint64 {
 	p := c.page(idx)
 	if p == nil {
@@ -216,6 +232,8 @@ func (c *Counters) Get(idx uint64) uint64 {
 }
 
 // Add adds delta to the counter at idx and reports the new value.
+//
+//lightpc:zeroalloc
 func (c *Counters) Add(idx uint64, delta uint64) uint64 {
 	p := c.ensure(idx)
 	v := &p[idx&pageMask]
@@ -232,9 +250,13 @@ func (c *Counters) Add(idx uint64, delta uint64) uint64 {
 }
 
 // Inc increments the counter at idx and reports the new value.
+//
+//lightpc:zeroalloc
 func (c *Counters) Inc(idx uint64) uint64 { return c.Add(idx, 1) }
 
 // Set stores v at idx.
+//
+//lightpc:zeroalloc
 func (c *Counters) Set(idx uint64, v uint64) {
 	p := c.ensure(idx)
 	s := &p[idx&pageMask]
@@ -305,6 +327,8 @@ type tablePage struct {
 func NewTable() *Table { return &Table{epoch: 1} }
 
 // Get reports the value at idx and whether one is present.
+//
+//lightpc:zeroalloc
 func (t *Table) Get(idx uint64) (uint64, bool) {
 	slot := t.dir.get(idx >> PageBits)
 	if slot < 0 || t.epochs[slot] != t.epoch {
@@ -319,12 +343,16 @@ func (t *Table) Get(idx uint64) (uint64, bool) {
 }
 
 // Set stores v at idx.
+//
+//lightpc:zeroalloc
 func (t *Table) Set(idx uint64, v uint64) {
 	pi := idx >> PageBits
 	slot := t.dir.get(pi)
 	if slot < 0 {
 		slot = int32(len(t.pages))
+		//lint:allow zeroalloc page allocation happens once per page, on first touch
 		t.pages = append(t.pages, tablePage{})
+		//lint:allow zeroalloc page allocation happens once per page, on first touch
 		t.epochs = append(t.epochs, t.epoch)
 		t.dir.put(pi, slot)
 	} else if t.epochs[slot] != t.epoch {
@@ -388,6 +416,8 @@ type bitsPage [1 << (bitsPageBits - 6)]uint64
 func NewBits() *Bits { return &Bits{epoch: 1} }
 
 // Get reports whether idx is set. A nil receiver reads as all-clear.
+//
+//lightpc:zeroalloc
 func (b *Bits) Get(idx uint64) bool {
 	if b == nil {
 		return false
@@ -401,12 +431,16 @@ func (b *Bits) Get(idx uint64) bool {
 }
 
 // Set marks idx.
+//
+//lightpc:zeroalloc
 func (b *Bits) Set(idx uint64) {
 	pi := idx >> bitsPageBits
 	slot := b.dir.get(pi)
 	if slot < 0 {
 		slot = int32(len(b.pages))
+		//lint:allow zeroalloc page allocation happens once per page, on first touch
 		b.pages = append(b.pages, bitsPage{})
+		//lint:allow zeroalloc page allocation happens once per page, on first touch
 		b.epochs = append(b.epochs, b.epoch)
 		b.dir.put(pi, slot)
 	} else if b.epochs[slot] != b.epoch {
@@ -453,6 +487,8 @@ func NewSlab(rec int) *Slab {
 }
 
 // Put copies data (exactly the record size) into the slot for idx.
+//
+//lightpc:zeroalloc
 func (s *Slab) Put(idx uint64, data []byte) {
 	if len(data) != s.rec {
 		panic("linetab: slab record size mismatch")
@@ -462,12 +498,15 @@ func (s *Slab) Put(idx uint64, data []byte) {
 		return
 	}
 	ref := uint64(len(s.arena) / s.rec)
+	//lint:allow zeroalloc arena growth is amortized; rewriting a line reuses its slot
 	s.arena = append(s.arena, data...)
 	s.refs.Set(idx, ref)
 }
 
 // Get reports a view of the record at idx (valid until the next Put, which
 // may grow the arena) and whether one is present.
+//
+//lightpc:zeroalloc
 func (s *Slab) Get(idx uint64) ([]byte, bool) {
 	ref, ok := s.refs.Get(idx)
 	if !ok {

@@ -53,6 +53,12 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the cross-package fact store: facts imported from
+	// dependency units plus whatever this pass exports. Nil under drivers
+	// that predate the fact protocol; ExportObjectFact/ImportObjectFact
+	// degrade to no-ops then.
+	Facts *FactStore
+
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
 }
@@ -71,12 +77,32 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 // allowPrefix introduces a suppression directive comment.
 const allowPrefix = "lint:allow"
 
-// FilterAllowed drops the diagnostics suppressed by //lint:allow directives
-// naming the analyzer. A directive applies to its own line and to the line
-// immediately below it.
-func FilterAllowed(fset *token.FileSet, files []*ast.File, analyzer string, diags []Diagnostic) []Diagnostic {
-	// allowed maps filename -> set of lines where the analyzer is allowed.
-	allowed := make(map[string]map[int]bool)
+// StaleAllowName is the pseudo-analyzer name under which unused
+// //lint:allow directives are reported by fact-aware drivers.
+const StaleAllowName = "staleallow"
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	analyzers []string // names the directive suppresses
+	pos       token.Pos
+	file      string
+	line      int  // the directive's own line; it also covers line+1
+	used      bool // suppressed at least one diagnostic this unit
+}
+
+// Suppressions indexes a package's //lint:allow directives and tracks which
+// of them actually suppressed a finding, so a driver running the full
+// analyzer suite can report the rot: a directive that silences nothing is a
+// stale claim about the code below it.
+type Suppressions struct {
+	directives []*directive
+	// byLine maps filename -> line -> directives covering that line.
+	byLine map[string]map[int][]*directive
+}
+
+// CollectSuppressions parses every //lint:allow directive in files.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byLine: make(map[string]map[int][]*directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -89,36 +115,83 @@ func FilterAllowed(fset *token.FileSet, files []*ast.File, analyzer string, diag
 				if len(fields) == 0 {
 					continue
 				}
-				match := false
-				for _, name := range strings.Split(fields[0], ",") {
-					if name == analyzer {
-						match = true
-					}
-				}
-				if !match {
-					continue
-				}
 				posn := fset.Position(c.Pos())
-				lines := allowed[posn.Filename]
-				if lines == nil {
-					lines = make(map[int]bool)
-					allowed[posn.Filename] = lines
+				d := &directive{
+					analyzers: strings.Split(fields[0], ","),
+					pos:       c.Pos(),
+					file:      posn.Filename,
+					line:      posn.Line,
 				}
-				lines[posn.Line] = true
-				lines[posn.Line+1] = true
+				s.directives = append(s.directives, d)
+				lines := s.byLine[d.file]
+				if lines == nil {
+					lines = make(map[int][]*directive)
+					s.byLine[d.file] = lines
+				}
+				lines[d.line] = append(lines[d.line], d)
+				lines[d.line+1] = append(lines[d.line+1], d)
 			}
 		}
 	}
-	if len(allowed) == 0 {
+	return s
+}
+
+// names reports whether the directive lists the analyzer.
+func (d *directive) names(analyzer string) bool {
+	for _, n := range d.analyzers {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter drops the diagnostics suppressed by directives naming the
+// analyzer, marking those directives used.
+func (s *Suppressions) Filter(fset *token.FileSet, analyzer string, diags []Diagnostic) []Diagnostic {
+	if len(s.directives) == 0 {
 		return diags
 	}
 	kept := diags[:0]
-	for _, d := range diags {
-		posn := fset.Position(d.Pos)
-		if allowed[posn.Filename][posn.Line] {
-			continue
+	for _, diag := range diags {
+		posn := fset.Position(diag.Pos)
+		suppressed := false
+		for _, d := range s.byLine[posn.Filename][posn.Line] {
+			if d.names(analyzer) {
+				d.used = true
+				suppressed = true
+			}
 		}
-		kept = append(kept, d)
+		if !suppressed {
+			kept = append(kept, diag)
+		}
 	}
 	return kept
+}
+
+// Stale reports a diagnostic for every directive that suppressed nothing
+// across all the Filter calls made so far. Call it once, after every
+// analyzer has run over the unit.
+func (s *Suppressions) Stale() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.directives {
+		if d.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos: d.pos,
+			Message: fmt.Sprintf("stale //lint:allow %s: no finding from %s on this or the next line; delete the directive or fix its analyzer list",
+				strings.Join(d.analyzers, ","), strings.Join(d.analyzers, ",")),
+		})
+	}
+	return out
+}
+
+// FilterAllowed drops the diagnostics suppressed by //lint:allow directives
+// naming the analyzer. A directive applies to its own line and to the line
+// immediately below it. Single-analyzer convenience over Suppressions;
+// drivers that run the whole suite should share one Suppressions so stale
+// directives can be detected.
+func FilterAllowed(fset *token.FileSet, files []*ast.File, analyzer string, diags []Diagnostic) []Diagnostic {
+	return CollectSuppressions(fset, files).Filter(fset, analyzer, diags)
 }

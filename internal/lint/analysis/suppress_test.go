@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func f() {
+	//lint:allow fake reason: the call below is sanctioned
+	g()
+}
+
+func h() {
+	//lint:allow fake this one suppresses nothing
+	_ = 1
+}
+
+func g() {}
+`
+
+// lineStart returns a Pos on the given 1-based line of the only file.
+func lineStart(t *testing.T, fset *token.FileSet, line int) token.Pos {
+	t.Helper()
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestSuppressionsFilterAndStale(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := CollectSuppressions(fset, []*ast.File{f})
+
+	// A finding on the line below the first directive is suppressed.
+	covered := Diagnostic{Pos: lineStart(t, fset, 5), Message: "g is bad"}
+	if kept := s.Filter(fset, "fake", []Diagnostic{covered}); len(kept) != 0 {
+		t.Fatalf("directive on line 4 should suppress the line-5 finding, kept %v", kept)
+	}
+
+	// The same line does not silence a different analyzer — and serving a
+	// non-matching analyzer must not mark any directive used.
+	other := Diagnostic{Pos: lineStart(t, fset, 10), Message: "h is bad"}
+	if kept := s.Filter(fset, "other", []Diagnostic{other}); len(kept) != 1 {
+		t.Fatalf("directive naming fake must not silence analyzer other, kept %v", kept)
+	}
+
+	// Only the directive that suppressed nothing is stale.
+	stale := s.Stale()
+	if len(stale) != 1 {
+		t.Fatalf("want exactly one stale directive, got %d: %v", len(stale), stale)
+	}
+	if posn := fset.Position(stale[0].Pos); posn.Line != 9 {
+		t.Fatalf("stale directive reported at line %d, want 9", posn.Line)
+	}
+	if !strings.Contains(stale[0].Message, "stale //lint:allow fake") {
+		t.Fatalf("stale message = %q", stale[0].Message)
+	}
+}
+
+func TestFilterAllowedKeepsUnrelatedLines(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 13 (func g) has no directive in range: the finding survives.
+	d := Diagnostic{Pos: lineStart(t, fset, 13), Message: "unrelated"}
+	if kept := FilterAllowed(fset, []*ast.File{f}, "fake", []Diagnostic{d}); len(kept) != 1 {
+		t.Fatalf("uncovered finding must survive, kept %v", kept)
+	}
+}

@@ -1,0 +1,339 @@
+// Package detreach propagates an "impure" fact through the call graph so
+// the determinism lints see through helpers: nodeterminism flags a direct
+// time.Now call, but a function three hops above an ambient-randomness
+// source used to pass vet untouched. Here every function that transitively
+// reaches a nondeterminism source carries an Impure fact (with the root
+// cause threaded through), and each call edge into an impure function from
+// internal/ simulation code is reported.
+//
+// Impurity seeds:
+//
+//   - wall clock: time.Now/Since/Until/Sleep/After/AfterFunc/Tick/
+//     NewTicker/NewTimer
+//   - ambient randomness: package-level math/rand and math/rand/v2 calls
+//     (an explicitly seeded *rand.Rand is fine), anything from crypto/rand
+//   - host environment: os.Getenv and friends, process identity, file
+//     reads
+//   - map-order escape: a range over a map whose body appends to a slice
+//     that the function never sorts — the host-random order is frozen into
+//     returned data
+//
+// Propagation is a fixpoint over the package's static call graph, then the
+// fact rides the vet facts file to importing packages, so a helper in
+// internal/obs that shells out to os.Hostname poisons its callers in
+// internal/experiments too.
+//
+// A function annotated //lightpc:pure is trusted: it is neither seeded nor
+// propagated through, and edges inside it are not reported. Use it where
+// the nondeterminism is deliberate and contained (lint tooling reading the
+// vet protocol's environment, not simulation code).
+package detreach
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the detreach pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detreach",
+	Doc:  "flag calls into transitively nondeterministic helpers (wall clock, ambient rand, env reads, map-order escape)",
+	Run:  run,
+}
+
+// Impure is the fact carried by any function that transitively reaches a
+// nondeterminism source. Reason names the root cause and the path's first
+// hop, e.g. "calls time.Now (via sim.wallClock)".
+type Impure struct {
+	Reason string
+}
+
+// AFact marks Impure as a fact type.
+func (*Impure) AFact() {}
+
+// temporal are the time package functions that read or wait on the wall
+// clock (time.Duration arithmetic and formatting stay pure).
+var temporal = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// envReads are the os functions that sample the host environment.
+var envReads = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+	"Hostname": true, "Getpid": true, "Getppid": true, "Getuid": true, "Getgid": true,
+	"Getwd": true, "UserHomeDir": true, "UserCacheDir": true, "UserConfigDir": true,
+	"TempDir": true, "ReadFile": true, "ReadDir": true, "Open": true, "OpenFile": true,
+	"Stat": true, "Lstat": true,
+}
+
+// funcInfo accumulates what one declaration does.
+type funcInfo struct {
+	decl   *ast.FuncDecl
+	obj    *types.Func
+	seed   string     // non-empty: directly impure, with reason
+	edges  []callEdge // static calls out of this function
+	impure string     // fixpoint result ("" = pure)
+	pure   bool       // //lightpc:pure annotation: trusted, skip entirely
+	isTest bool
+}
+
+type callEdge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	infos := collect(pass)
+
+	// Fixpoint: a function is impure when seeded or when any static
+	// callee is impure (locally computed or imported as a fact).
+	byObj := make(map[*types.Func]*funcInfo, len(infos))
+	for _, in := range infos {
+		byObj[in.obj] = in
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, in := range infos {
+			if in.pure || in.impure != "" {
+				continue
+			}
+			if in.seed != "" {
+				in.impure = in.seed
+				changed = true
+				continue
+			}
+			for _, e := range in.edges {
+				if reason := calleeImpurity(pass, byObj, e.callee); reason != "" {
+					in.impure = "calls " + calleeLabel(e.callee) + ": " + reason
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Export facts so importing packages see through these helpers.
+	for _, in := range infos {
+		if in.impure != "" && !in.isTest {
+			pass.ExportObjectFact(in.obj, &Impure{Reason: in.impure})
+		}
+	}
+
+	// Diagnostics: each edge into an impure function, from internal/
+	// non-test simulation code.
+	if !analysis.InternalPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, in := range infos {
+		if in.pure || in.isTest {
+			continue
+		}
+		for _, e := range in.edges {
+			if reason := calleeImpurity(pass, byObj, e.callee); reason != "" {
+				pass.Reportf(e.pos, "call to %s, which is transitively nondeterministic (%s); thread sim.Time and explicit RNGs, or annotate the callee //lightpc:pure with justification", calleeLabel(e.callee), reason)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// calleeImpurity reports why callee is impure, or "".
+func calleeImpurity(pass *analysis.Pass, byObj map[*types.Func]*funcInfo, callee *types.Func) string {
+	if in, ok := byObj[callee]; ok {
+		return in.impure
+	}
+	if callee.Pkg() == pass.Pkg {
+		return "" // local but unseen (generated or interface method)
+	}
+	var fact Impure
+	if pass.ImportObjectFact(callee, &fact) {
+		return fact.Reason
+	}
+	return ""
+}
+
+func calleeLabel(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// collect parses every declaration into a funcInfo.
+func collect(pass *analysis.Pass) []*funcInfo {
+	var infos []*funcInfo
+	for _, f := range pass.Files {
+		isTest := pass.IsTestFile(f.Pos())
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			in := &funcInfo{decl: fd, obj: obj, isTest: isTest}
+			if analysis.HasAnnotation(fd, "pure") {
+				in.pure = true
+				infos = append(infos, in)
+				continue
+			}
+			scan(pass, fd, in)
+			infos = append(infos, in)
+		}
+	}
+	return infos
+}
+
+// scan records the declaration's seeds and outgoing static call edges
+// (including inside func literals: a closure's behavior is attributed to
+// the function that creates it, since it may run it).
+func scan(pass *analysis.Pass, fd *ast.FuncDecl, in *funcInfo) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			seedFromCall(pass, n, in)
+		case *ast.RangeStmt:
+			if in.seed == "" && mapOrderEscapes(pass, fd, n) {
+				in.seed = "freezes map iteration order into a slice that is never sorted"
+			}
+		}
+		return true
+	})
+}
+
+// seedFromCall classifies one call: a nondeterminism source seeds the
+// function; a static call to a module function records an edge.
+func seedFromCall(pass *analysis.Pass, call *ast.CallExpr, in *funcInfo) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if ok {
+		if id, isIdent := sel.X.(*ast.Ident); isIdent {
+			if pkgName, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+				switch path := pkgName.Imported().Path(); {
+				case path == "time" && temporal[sel.Sel.Name]:
+					seed(in, "calls time."+sel.Sel.Name)
+					return
+				case path == "math/rand" || path == "math/rand/v2":
+					seed(in, "uses ambient "+path+"."+sel.Sel.Name)
+					return
+				case path == "crypto/rand":
+					seed(in, "uses crypto/rand."+sel.Sel.Name)
+					return
+				case path == "os" && envReads[sel.Sel.Name]:
+					seed(in, "reads the host environment via os."+sel.Sel.Name)
+					return
+				}
+			}
+		}
+	}
+	// Static call edge to a package-level function or method.
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type().Underlying()) {
+			return // dynamic: out of reach for facts
+		}
+	}
+	in.edges = append(in.edges, callEdge{callee: fn, pos: call.Pos()})
+}
+
+func seed(in *funcInfo, reason string) {
+	if in.seed == "" {
+		in.seed = reason
+	}
+}
+
+// sorters mirror maporder's set: calls that establish deterministic order.
+var sorters = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true, "Stable": true,
+	"Slice": true, "SliceStable": true, "Strings": true, "Ints": true, "Float64s": true,
+}
+
+// mapOrderEscapes reports whether rs ranges over a map and its body
+// appends to a slice while no sort.*/slices.* call follows later in the
+// function — the shape that returns map-ordered data to callers. Pure
+// folds (sums, counts, building other maps) stay pure.
+func mapOrderEscapes(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	appends := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				appends = true
+			}
+		}
+		return true
+	})
+	if !appends {
+		return false
+	}
+	return !sortFollows(pass, fd, rs.End())
+}
+
+// sortFollows reports whether a sort.*/slices.Sort* call appears in the
+// function after pos.
+func sortFollows(pass *analysis.Pass, fd *ast.FuncDecl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pkgName.Imported().Path()
+		if (path == "sort" || path == "slices") && sorters[sel.Sel.Name] {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package detreach_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detreach"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetreach(t *testing.T) {
+	linttest.Run(t, "testdata", detreach.Analyzer, "impuredep", "internal/app")
+}

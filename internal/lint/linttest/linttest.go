@@ -18,6 +18,13 @@
 // Imports among fixture packages resolve inside testdata/src; everything
 // else (the standard library) is type-checked from source via go/importer,
 // which needs no network and no precompiled archives.
+//
+// The harness is fact-aware: every fixture package is analyzed as soon as
+// it is type-checked — dependencies first, since type-checking pulls them
+// in depth-first — and all passes share one FactStore. A fixture package
+// can therefore exercise cross-package fact propagation exactly as the
+// unitchecker driver does under go vet: annotate a function in a dependency
+// fixture and assert on diagnostics in its importer.
 package linttest
 
 import (
@@ -43,10 +50,12 @@ import (
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	ld := &loader{
-		fset:   token.NewFileSet(),
-		srcDir: filepath.Join(dir, "src"),
-		pkgs:   make(map[string]*loadedPkg),
-		std:    importer.ForCompiler(token.NewFileSet(), "source", nil),
+		fset:     token.NewFileSet(),
+		srcDir:   filepath.Join(dir, "src"),
+		pkgs:     make(map[string]*loadedPkg),
+		std:      importer.ForCompiler(token.NewFileSet(), "source", nil),
+		analyzer: a,
+		store:    analysis.NewFactStore(),
 	}
 	for _, path := range pkgPaths {
 		path := path
@@ -56,7 +65,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 			if err != nil {
 				t.Fatalf("loading fixture package %s: %v", path, err)
 			}
-			checkPackage(t, ld.fset, a, lp)
+			checkPackage(t, ld.fset, lp)
 		})
 	}
 }
@@ -66,13 +75,16 @@ type loadedPkg struct {
 	files []*ast.File
 	pkg   *types.Package
 	info  *types.Info
+	diags []analysis.Diagnostic // analyzer output, post //lint:allow filtering
 }
 
 type loader struct {
-	fset   *token.FileSet
-	srcDir string
-	pkgs   map[string]*loadedPkg
-	std    types.Importer
+	fset     *token.FileSet
+	srcDir   string
+	pkgs     map[string]*loadedPkg
+	std      types.Importer
+	analyzer *analysis.Analyzer
+	store    *analysis.FactStore
 }
 
 // Import lets the loader serve as the type-checker's importer: fixture
@@ -88,6 +100,9 @@ func (ld *loader) Import(path string) (*types.Package, error) {
 	return ld.std.Import(path)
 }
 
+// load parses, type-checks, and analyzes one fixture package (memoized).
+//
+//lightpc:pure test harness: fixtures come off the host filesystem by design
 func (ld *loader) load(path string) (*loadedPkg, error) {
 	if lp, ok := ld.pkgs[path]; ok {
 		if lp == nil {
@@ -136,25 +151,31 @@ func (ld *loader) load(path string) (*loadedPkg, error) {
 		return nil, err
 	}
 	lp := &loadedPkg{path: path, files: files, pkg: pkg, info: info}
+
+	// Analyze immediately: the type-checker has already loaded (and hence
+	// analyzed) every fixture dependency, so their facts are in the store.
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  ld.analyzer,
+		Fset:      ld.fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Facts:     ld.store,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := ld.analyzer.Run(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s on %s: %v", ld.analyzer.Name, path, err)
+	}
+	lp.diags = analysis.FilterAllowed(ld.fset, files, ld.analyzer.Name, diags)
+
 	ld.pkgs[path] = lp
 	return lp, nil
 }
 
-func checkPackage(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, lp *loadedPkg) {
+func checkPackage(t *testing.T, fset *token.FileSet, lp *loadedPkg) {
 	t.Helper()
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     lp.files,
-		Pkg:       lp.pkg,
-		TypesInfo: lp.info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("analyzer %s: %v", a.Name, err)
-	}
-	diags = analysis.FilterAllowed(fset, lp.files, a.Name, diags)
+	diags := lp.diags
 
 	type key struct {
 		file string

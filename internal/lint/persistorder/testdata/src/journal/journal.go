@@ -1,0 +1,34 @@
+// Package journal is a scoped fixture: a WAL store whose checkpoint image
+// (the home map) must never be touched before the log append covering it.
+package journal
+
+// Store is a key-value store with a write-ahead log.
+type Store struct {
+	log  []uint64
+	home map[uint64]uint64
+}
+
+// Append is the append primitive; its interior is exempt.
+//
+//lightpc:journalappend
+func (s *Store) Append(k, v uint64) {
+	s.log = append(s.log, k, v)
+}
+
+// Commit is the commit primitive.
+//
+//lightpc:commitpoint
+func (s *Store) Commit() {}
+
+// PutGood logs first, then updates the checkpoint image: clean.
+func (s *Store) PutGood(k, v uint64) {
+	s.Append(k, v)
+	s.home[k] = v
+	s.Commit()
+}
+
+// CheckpointEarly touches the home image before the append that covers it.
+func (s *Store) CheckpointEarly(k, v uint64) {
+	s.home[k] = v // want `precedes the journal append`
+	s.Append(k, v)
+}

@@ -1,0 +1,28 @@
+// Package kernel models the persistent-media sink for the persistorder
+// fixture: Bank.Write matches the analyzer's sink table by receiver, and
+// Store picks up a MutatesPersistent fact by calling it — which the pmdk
+// fixture then observes across the package boundary. kernel itself is not
+// a scoped package, so nothing is reported here.
+package kernel
+
+// Bank is a word-addressable persistent memory bank.
+type Bank struct {
+	words map[uint64]uint64
+}
+
+// Write stores a word: the sink primitive.
+func (b *Bank) Write(addr, val uint64) {
+	if b.words == nil {
+		b.words = make(map[uint64]uint64)
+	}
+	b.words[addr] = val
+}
+
+// Read loads a word.
+func (b *Bank) Read(addr uint64) uint64 { return b.words[addr] }
+
+// Store wraps the sink in a free function; the MutatesPersistent fact
+// follows it through the call graph.
+func Store(b *Bank, addr, val uint64) {
+	b.Write(addr, val)
+}

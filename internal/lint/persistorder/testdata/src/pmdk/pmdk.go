@@ -1,0 +1,59 @@
+// Package pmdk is a scoped fixture over the kernel sink: an undo-logged
+// pool whose order violations — mutate-before-log, anything-after-commit,
+// mutation hidden behind an imported helper — must all be reported.
+package pmdk
+
+import "kernel"
+
+// Pool is an undo-logged object store over a bank.
+type Pool struct {
+	bank *kernel.Bank
+}
+
+// logUndo is the append primitive; the sink calls inside are the append
+// mechanics and exempt.
+//
+//lightpc:journalappend
+func (p *Pool) logUndo(addr uint64) {
+	p.bank.Write(0, addr)
+	p.bank.Write(8, p.bank.Read(addr))
+}
+
+// TxCommit seals the transaction.
+//
+//lightpc:commitpoint
+func (p *Pool) TxCommit() {}
+
+// Good follows the discipline: log, mutate, commit.
+func (p *Pool) Good(addr, val uint64) {
+	p.logUndo(addr)
+	p.bank.Write(addr, val)
+	p.TxCommit()
+}
+
+// MutatesFirst writes the bank before covering it with an undo record.
+func (p *Pool) MutatesFirst(addr, val uint64) {
+	p.bank.Write(addr, val) // want `precedes the journal append`
+	p.logUndo(addr)
+}
+
+// AfterCommit keeps moving persistent state after the EP-cut is sealed.
+func (p *Pool) AfterCommit(addr, val uint64) {
+	p.logUndo(addr)
+	p.bank.Write(addr, val)
+	p.TxCommit()
+	p.bank.Write(addr, val+1) // want `after the commit point`
+	p.logUndo(addr)           // want `journal append \(pmdk.Pool.logUndo\) after the commit point`
+}
+
+// HiddenMutation reaches the sink through an imported helper; the
+// MutatesPersistent fact still exposes it.
+func (p *Pool) HiddenMutation(addr, val uint64) {
+	kernel.Store(p.bank, addr, val) // want `persistent mutation \(kernel.Store\) precedes the journal append`
+	p.logUndo(addr)
+}
+
+// Commit is commit-shaped but unannotated: the rot guard flags it.
+func (p *Pool) Commit() { // want `lacks //lightpc:commitpoint`
+	p.TxCommit()
+}

@@ -11,8 +11,18 @@
 //     by VetxOutput, and exit 0 (clean) or 2 (findings).
 //
 // Dependency packages arrive with VetxOnly set: cmd/go only wants their
-// facts. The lightpc analyzers use no cross-package facts, so those
-// invocations just write an empty facts file.
+// facts. For packages inside this module the checker runs the full analyzer
+// suite anyway — discarding diagnostics, keeping the exported facts — and
+// writes the union of imported and exported facts to VetxOutput. Re-exporting
+// imported facts is what makes the fact relation transitive: cmd/go hands
+// each unit only its *direct* imports' .vetx files, so every unit forwards
+// everything it knows. Packages outside the module (stdlib) are not
+// analyzed; their facts files carry whatever their own deps forwarded
+// (nothing, in practice).
+//
+// After the full suite has run over a reporting unit, any //lint:allow
+// directive that suppressed no finding is itself reported under the
+// pseudo-analyzer "staleallow", so suppressions cannot rot in place.
 //
 // Type information is rebuilt from the compiler export data cmd/go lists in
 // PackageFile, through go/importer's gc importer, so analyzers see the same
@@ -110,6 +120,8 @@ func usage(analyzers []*analysis.Analyzer) {
 
 // printVersion implements -V=full: the executable's content hash keys the
 // go build cache, so edits to the linter invalidate cached vet results.
+//
+//lightpc:pure lint tooling: hashing the tool binary is the vet protocol, not simulation state
 func printVersion() {
 	exe, err := os.Executable()
 	if err != nil {
@@ -132,6 +144,9 @@ func printFlags() {
 	fmt.Println("[]")
 }
 
+// run analyzes the one unit described by cfgFile.
+//
+//lightpc:pure lint tooling: reading the vet config and facts files is the protocol, not simulation state
 func run(cfgFile string, jsonOut bool, analyzers []*analysis.Analyzer) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -142,16 +157,27 @@ func run(cfgFile string, jsonOut bool, analyzers []*analysis.Analyzer) int {
 		log.Fatalf("cannot decode JSON config file %s: %v", cfgFile, err)
 	}
 
-	// cmd/go requires the facts file regardless of outcome. The lightpc
-	// analyzers export no facts, so it is always empty.
+	// Facts imported from every direct dependency's .vetx file. The store
+	// accumulates this unit's exports on top; VetxOutput receives the
+	// union, which keeps fact propagation transitive.
+	store := analysis.NewFactStore()
+	for _, vetxFile := range cfg.PackageVetx {
+		if data, err := os.ReadFile(vetxFile); err == nil {
+			store.Decode(data)
+		}
+	}
+
+	// cmd/go requires the facts file regardless of outcome.
 	writeVetx := func() {
 		if cfg.VetxOutput != "" {
-			if err := os.WriteFile(cfg.VetxOutput, nil, 0666); err != nil {
+			if err := os.WriteFile(cfg.VetxOutput, store.Encode(), 0666); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
-	if cfg.VetxOnly {
+	if cfg.VetxOnly && !moduleUnit(cfg.ImportPath) {
+		// Outside the module there is nothing to annotate: forward the
+		// dependency facts without analyzing.
 		writeVetx()
 		return 0
 	}
@@ -184,6 +210,7 @@ func run(cfgFile string, jsonOut bool, analyzers []*analysis.Analyzer) int {
 		diag     analysis.Diagnostic
 	}
 	var findings []finding
+	supp := analysis.CollectSuppressions(fset, files)
 	for _, a := range analyzers {
 		var diags []analysis.Diagnostic
 		pass := &analysis.Pass{
@@ -192,20 +219,29 @@ func run(cfgFile string, jsonOut bool, analyzers []*analysis.Analyzer) int {
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Facts:     store,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
 		if _, err := a.Run(pass); err != nil {
 			log.Fatalf("analyzer %s: %v", a.Name, err)
 		}
-		for _, d := range analysis.FilterAllowed(fset, files, a.Name, diags) {
+		for _, d := range supp.Filter(fset, a.Name, diags) {
 			findings = append(findings, finding{a.Name, d})
 		}
+	}
+	writeVetx()
+	if cfg.VetxOnly {
+		// A facts-only invocation: the diagnostics belong to the unit
+		// cmd/go will report on, not this one.
+		return 0
+	}
+	for _, d := range supp.Stale() {
+		findings = append(findings, finding{analysis.StaleAllowName, d})
 	}
 	sort.SliceStable(findings, func(i, j int) bool {
 		return findings[i].diag.Pos < findings[j].diag.Pos
 	})
 
-	writeVetx()
 	if len(findings) == 0 {
 		return 0
 	}
@@ -231,8 +267,18 @@ func run(cfgFile string, jsonOut bool, analyzers []*analysis.Analyzer) int {
 	return 2
 }
 
+// moduleUnit reports whether the unit belongs to this module — the only
+// packages whose source carries //lightpc: annotations and therefore the
+// only ones worth analyzing for facts. Test variants arrive with IDs like
+// "repro/internal/sim [repro/internal/sim.test]"; the prefix covers them.
+func moduleUnit(importPath string) bool {
+	return importPath == "repro" || strings.HasPrefix(importPath, "repro/")
+}
+
 // typeCheck rebuilds the package's types from the export data cmd/go
 // supplied for its dependencies.
+//
+//lightpc:pure lint tooling: export data comes off the host filesystem by design
 func typeCheck(fset *token.FileSet, cfg *config, files []*ast.File) (*types.Package, *types.Info, error) {
 	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
 		file, ok := cfg.PackageFile[path]

@@ -1,0 +1,14 @@
+// Package zadep is the dependency side of the cross-package fact fixture:
+// Fast carries the zeroalloc annotation (and hence exports the ZeroAlloc
+// fact); Slow allocates and carries nothing.
+package zadep
+
+// Fast is allocation-free and says so.
+//
+//lightpc:zeroalloc
+func Fast(x int) int { return x * 2 }
+
+// Slow allocates; callers on a zeroalloc path must not reach it.
+func Slow(xs []int) []int {
+	return append(xs, 1)
+}

@@ -1,0 +1,12 @@
+package zeroalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/zeroalloc"
+)
+
+func TestZeroalloc(t *testing.T) {
+	linttest.Run(t, "testdata", zeroalloc.Analyzer, "zadep", "zahot")
+}

@@ -38,6 +38,7 @@ func NewDRAMController(n int, cfg dram.Config, ctrlLat sim.Duration) *DRAMContro
 	return c
 }
 
+//lightpc:zeroalloc
 func (c *DRAMController) route(addr uint64) (*dram.DIMM, uint64) {
 	line := addr / 64
 	idx := int(line % uint64(len(c.dimms)))
@@ -45,12 +46,16 @@ func (c *DRAMController) route(addr uint64) (*dram.DIMM, uint64) {
 }
 
 // Read services a 64 B line read.
+//
+//lightpc:zeroalloc
 func (c *DRAMController) Read(now sim.Time, addr uint64) sim.Time {
 	d, a := c.route(addr)
 	return d.Read(now.Add(c.ctrlLat), a)
 }
 
 // Write services a 64 B line write.
+//
+//lightpc:zeroalloc
 func (c *DRAMController) Write(now sim.Time, addr uint64) sim.Time {
 	d, a := c.route(addr)
 	return d.Write(now.Add(c.ctrlLat), a)
@@ -79,11 +84,15 @@ type PSMBackend struct {
 }
 
 // Read services a 64 B line read through the PSM read port.
+//
+//lightpc:zeroalloc
 func (b *PSMBackend) Read(now sim.Time, addr uint64) sim.Time {
 	return b.PSM.Read(now, addr/64)
 }
 
 // Write services a 64 B line write through the PSM write port.
+//
+//lightpc:zeroalloc
 func (b *PSMBackend) Write(now sim.Time, addr uint64) sim.Time {
 	return b.PSM.Write(now, addr/64)
 }
@@ -99,11 +108,15 @@ type PMEMBackend struct {
 }
 
 // Read services a 64 B line read from the PMEM DIMM.
+//
+//lightpc:zeroalloc
 func (b *PMEMBackend) Read(now sim.Time, addr uint64) sim.Time {
 	return b.DIMM.Read(now.Add(b.DAXLatency), addr)
 }
 
 // Write services a 64 B line write to the PMEM DIMM.
+//
+//lightpc:zeroalloc
 func (b *PMEMBackend) Write(now sim.Time, addr uint64) sim.Time {
 	return b.DIMM.Write(now.Add(b.DAXLatency), addr)
 }
@@ -149,11 +162,13 @@ func NewNMEM(d *DRAMController, p *pmemdimm.DIMM, cfg NMEMConfig) *NMEM {
 	}
 }
 
+//lightpc:zeroalloc
 func (n *NMEM) setAndTag(addr uint64) (set, tag uint64) {
 	block := addr >> n.blockBits
 	return block % n.sets, block / n.sets
 }
 
+//lightpc:zeroalloc
 func (n *NMEM) access(now sim.Time, addr uint64, write bool) sim.Time {
 	set, tag := n.setAndTag(addr)
 	line, ok := n.lines.Get(set)
@@ -190,11 +205,15 @@ func (n *NMEM) access(now sim.Time, addr uint64, write bool) sim.Time {
 }
 
 // Read services a 64 B line read.
+//
+//lightpc:zeroalloc
 func (n *NMEM) Read(now sim.Time, addr uint64) sim.Time {
 	return n.access(now, addr, false)
 }
 
 // Write services a 64 B line write.
+//
+//lightpc:zeroalloc
 func (n *NMEM) Write(now sim.Time, addr uint64) sim.Time {
 	return n.access(now, addr, true)
 }

@@ -123,6 +123,8 @@ func (d *DIMM) Devices() []*pram.Device { return d.devices }
 
 // pairFor maps a cacheline index to its chip-enable pair and the device row
 // within each member (DualChannel).
+//
+//lightpc:zeroalloc
 func (d *DIMM) pairFor(line uint64) (first int, row uint64) {
 	g := int(line % uint64(d.groups))
 	return g * 2, line / uint64(d.groups)
@@ -136,11 +138,15 @@ func (d *DIMM) PairFor(line uint64) (firstDevice int, row uint64) {
 
 // rankRow maps a cacheline index to the 256 B rank row (DRAMLike): four
 // cachelines per 256 B block.
+//
+//lightpc:zeroalloc
 func rankRow(line uint64) uint64 { return line / 4 }
 
 // LineBusy reports whether serving a read of line would collide with an
 // in-flight program (the PSM consults this before choosing the
 // reconstruction path).
+//
+//lightpc:zeroalloc
 func (d *DIMM) LineBusy(now sim.Time, line uint64) bool {
 	switch d.cfg.Layout {
 	case DualChannel:
@@ -161,6 +167,8 @@ func (d *DIMM) LineBusy(now sim.Time, line uint64) bool {
 // a cooling window the read waits (LightPC-B behaviour). It reports the
 // completion time and whether any granule came back corrupted (to be
 // contained by the PSM's ECC).
+//
+//lightpc:zeroalloc
 func (d *DIMM) ReadLine(now sim.Time, line uint64) (done sim.Time, conflicted, corrupted bool) {
 	d.reads.Inc()
 	switch d.cfg.Layout {
@@ -189,6 +197,8 @@ func (d *DIMM) ReadLine(now sim.Time, line uint64) (done sim.Time, conflicted, c
 
 // reserveSlot claims the earliest write-power slot at or after `at` for one
 // programming window.
+//
+//lightpc:zeroalloc
 func (d *DIMM) reserveSlot(at sim.Time) sim.Time {
 	best := 0
 	for i := 1; i < writeSlots; i++ {
@@ -206,6 +216,8 @@ func (d *DIMM) reserveSlot(at sim.Time) sim.Time {
 // occupies the whole rank. accept is when the channel takes the data
 // (early-return point); complete is when all programming (and cooling)
 // finishes. Programs compete for the DIMM's write-power slots.
+//
+//lightpc:zeroalloc
 func (d *DIMM) WriteLine(now sim.Time, line uint64) (accept, complete sim.Time) {
 	d.writes.Inc()
 	switch d.cfg.Layout {
@@ -245,6 +257,8 @@ func (d *DIMM) WriteLine(now sim.Time, line uint64) (accept, complete sim.Time) 
 // simultaneously dead" case XCC cannot cover (Section VIII).
 //
 // Only meaningful for DualChannel; a DRAMLike rank has no free siblings.
+//
+//lightpc:zeroalloc
 func (d *DIMM) ReadReconstructed(now sim.Time, line uint64) (done sim.Time, ok, corrupted bool) {
 	if d.cfg.Layout != DualChannel {
 		return 0, false, false

@@ -36,6 +36,8 @@ func (k MetricKind) String() string {
 type Counter struct{ v uint64 }
 
 // Inc adds one.
+//
+//lightpc:zeroalloc
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -44,6 +46,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//lightpc:zeroalloc
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -52,6 +56,8 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Value reports the tally.
+//
+//lightpc:zeroalloc
 func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
@@ -63,6 +69,8 @@ func (c *Counter) Value() uint64 {
 type Gauge struct{ v float64 }
 
 // Set replaces the value.
+//
+//lightpc:zeroalloc
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -71,6 +79,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add shifts the value by d.
+//
+//lightpc:zeroalloc
 func (g *Gauge) Add(d float64) {
 	if g == nil {
 		return
@@ -79,6 +89,8 @@ func (g *Gauge) Add(d float64) {
 }
 
 // Value reports the gauge.
+//
+//lightpc:zeroalloc
 func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
@@ -114,6 +126,8 @@ type Histogram struct {
 }
 
 // Observe records one sample.
+//
+//lightpc:zeroalloc
 func (h *Histogram) Observe(d sim.Duration) {
 	if h == nil {
 		return
@@ -130,6 +144,8 @@ func (h *Histogram) Observe(d sim.Duration) {
 }
 
 // Count reports the total number of samples.
+//
+//lightpc:zeroalloc
 func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
@@ -138,6 +154,8 @@ func (h *Histogram) Count() uint64 {
 }
 
 // Sum reports the total of all samples.
+//
+//lightpc:zeroalloc
 func (h *Histogram) Sum() sim.Duration {
 	if h == nil {
 		return 0

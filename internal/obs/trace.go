@@ -156,16 +156,21 @@ func (t *Tracer) Lanes() []string {
 
 // push appends one event, honoring the limit. It reports the slot index,
 // or -1 when the event was dropped.
+//
+//lightpc:zeroalloc
 func (t *Tracer) push(ev Event) int {
 	if t.limit > 0 && len(t.events) >= t.limit {
 		t.lost++
 		return -1
 	}
+	//lint:allow zeroalloc buffer growth is amortized; Reset reuses the backing array
 	t.events = append(t.events, ev)
 	return len(t.events) - 1
 }
 
 // Span records a complete [start, end] span on lane.
+//
+//lightpc:zeroalloc
 func (t *Tracer) Span(start, end sim.Time, lane Lane, cat, name string) {
 	if t == nil {
 		return
@@ -174,6 +179,8 @@ func (t *Tracer) Span(start, end sim.Time, lane Lane, cat, name string) {
 }
 
 // SpanArg records a complete span carrying one integer argument.
+//
+//lightpc:zeroalloc
 func (t *Tracer) SpanArg(start, end sim.Time, lane Lane, cat, name, argName string, arg int64) {
 	if t == nil {
 		return
@@ -183,6 +190,8 @@ func (t *Tracer) SpanArg(start, end sim.Time, lane Lane, cat, name, argName stri
 
 // Begin opens a span at 'at'; the returned handle closes it via End. On a
 // nil tracer (or a full buffer) it returns 0, which End ignores.
+//
+//lightpc:zeroalloc
 func (t *Tracer) Begin(at sim.Time, lane Lane, cat, name string) SpanID {
 	if t == nil {
 		return 0
@@ -193,6 +202,8 @@ func (t *Tracer) Begin(at sim.Time, lane Lane, cat, name string) SpanID {
 
 // End closes the span opened by Begin at 'at'. Ending the zero SpanID is a
 // no-op; an End earlier than its Begin clamps to a zero-length span.
+//
+//lightpc:zeroalloc
 func (t *Tracer) End(at sim.Time, id SpanID) {
 	if t == nil || id <= 0 || int(id) > len(t.events) {
 		return
@@ -206,6 +217,8 @@ func (t *Tracer) End(at sim.Time, id SpanID) {
 }
 
 // EndArg closes the span and attaches one integer argument.
+//
+//lightpc:zeroalloc
 func (t *Tracer) EndArg(at sim.Time, id SpanID, argName string, arg int64) {
 	if t == nil || id <= 0 || int(id) > len(t.events) {
 		return
@@ -216,6 +229,8 @@ func (t *Tracer) EndArg(at sim.Time, id SpanID, argName string, arg int64) {
 }
 
 // Instant records a point event.
+//
+//lightpc:zeroalloc
 func (t *Tracer) Instant(at sim.Time, lane Lane, cat, name string) {
 	if t == nil {
 		return
@@ -224,6 +239,8 @@ func (t *Tracer) Instant(at sim.Time, lane Lane, cat, name string) {
 }
 
 // InstantArg records a point event carrying one integer argument.
+//
+//lightpc:zeroalloc
 func (t *Tracer) InstantArg(at sim.Time, lane Lane, cat, name, argName string, arg int64) {
 	if t == nil {
 		return
@@ -232,6 +249,8 @@ func (t *Tracer) InstantArg(at sim.Time, lane Lane, cat, name, argName string, a
 }
 
 // Len reports the number of buffered events.
+//
+//lightpc:zeroalloc
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0

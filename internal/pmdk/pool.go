@@ -107,16 +107,26 @@ func (p *Pool) wordAddr(oid OID, idx int) uint64 {
 	return uint64(oid) + uint64(idx+1)*8
 }
 
+// logUndo appends one undo record — the prior value at addr — to the
+// transaction log and bumps the record count. This is the pool's
+// journal-append primitive: recovery replays these records newest-first,
+// so it must run before the store it covers.
+//
+//lightpc:journalappend
+func (p *Pool) logUndo(addr uint64) {
+	n := p.bank.Read(poolTxLenAddr)
+	rec := poolLogBase + n*16
+	p.bank.Write(rec, addr)
+	p.bank.Write(rec+8, p.bank.Read(addr))
+	p.bank.Write(poolTxLenAddr, n+1)
+}
+
 // Set stores a word into an object; inside a transaction the old value is
 // undo-logged first.
 func (p *Pool) Set(oid OID, idx int, val uint64) {
 	addr := p.wordAddr(oid, idx)
 	if p.bank.Read(poolTxAddr) == txActive {
-		n := p.bank.Read(poolTxLenAddr)
-		rec := poolLogBase + n*16
-		p.bank.Write(rec, addr)
-		p.bank.Write(rec+8, p.bank.Read(addr))
-		p.bank.Write(poolTxLenAddr, n+1)
+		p.logUndo(addr)
 	}
 	p.bank.Write(addr, val)
 }
@@ -145,6 +155,8 @@ func (p *Pool) TxBegin() error {
 
 // TxCommit makes the transaction's changes durable and discards the log
 // (TX_END).
+//
+//lightpc:commitpoint
 func (p *Pool) TxCommit() error {
 	if p.bank.Read(poolTxAddr) != txActive {
 		return ErrNoTx

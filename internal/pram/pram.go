@@ -95,6 +95,7 @@ func NewDevice(cfg DeviceConfig) *Device {
 // Config reports the device configuration.
 func (d *Device) Config() DeviceConfig { return d.cfg }
 
+//lightpc:zeroalloc
 func (d *Device) checkRow(row uint64) {
 	if d.cfg.Rows != 0 && row >= d.cfg.Rows {
 		panic(fmt.Sprintf("pram: row %d out of range (rows=%d)", row, d.cfg.Rows))
@@ -103,6 +104,8 @@ func (d *Device) checkRow(row uint64) {
 
 // Busy reports whether the row is inside a programming/cooling window at
 // time now (the read-after-write hazard the PSM's XCC resolves).
+//
+//lightpc:zeroalloc
 func (d *Device) Busy(now sim.Time, row uint64) bool {
 	return d.inFlight.Busy(now, row)
 }
@@ -115,6 +118,8 @@ func (d *Device) Busy(now sim.Time, row uint64) bool {
 //
 // Callers that can reconstruct from ECC (LightPC's PSM) should call Busy
 // first and avoid the blocking read entirely.
+//
+//lightpc:zeroalloc
 func (d *Device) Read(now sim.Time, row uint64) (done sim.Time, conflicted, corrupted bool) {
 	d.checkRow(row)
 	d.reads.Inc()
@@ -150,6 +155,8 @@ func (d *Device) WornOut(row uint64) bool {
 // as its interface frees up (accept) and completes programming, including
 // the cooling window, at complete. An early-return memory controller may
 // acknowledge the host at accept; a strict one waits for complete.
+//
+//lightpc:zeroalloc
 func (d *Device) Write(now sim.Time, row uint64) (accept, complete sim.Time) {
 	d.checkRow(row)
 	d.writes.Inc()

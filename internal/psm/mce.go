@@ -88,6 +88,8 @@ func (p *PSM) resetForColdBoot() {
 }
 
 // Poisoned reports whether a line carries a poison marker (MCEPoison).
+//
+//lightpc:zeroalloc
 func (p *PSM) Poisoned(line uint64) bool { return p.mce.poisoned.Get(line) }
 
 // MCECounters reports per-policy bookkeeping: resets performed, retries

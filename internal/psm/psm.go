@@ -198,6 +198,8 @@ func (p *PSM) SetMCEHandler(h func(now sim.Time, line uint64)) { p.mceHandler = 
 
 // mapLine applies wear leveling and splits a physical line into its DIMM and
 // inner line.
+//
+//lightpc:zeroalloc
 func (p *PSM) mapLine(line uint64) (d *nvdimm.DIMM, dimmIdx int, inner uint64) {
 	pl := line
 	if p.wl != nil {
@@ -208,12 +210,16 @@ func (p *PSM) mapLine(line uint64) (d *nvdimm.DIMM, dimmIdx int, inner uint64) {
 }
 
 // bufferFor selects the row-buffer slot for a line's window.
+//
+//lightpc:zeroalloc
 func (p *PSM) bufferFor(line uint64) *rowBuffer {
 	w := windowOf(line, p.cfg.WindowLines)
 	return &p.buffers[w%uint64(len(p.buffers))]
 }
 
 // Read services a 64 B cacheline read and returns its completion time.
+//
+//lightpc:zeroalloc
 func (p *PSM) Read(now sim.Time, line uint64) sim.Time {
 	p.stats.Reads++
 	start := now.Add(p.cfg.PortLatency)
@@ -221,6 +227,7 @@ func (p *PSM) Read(now sim.Time, line uint64) sim.Time {
 	if p.Poisoned(line) {
 		// A previously poisoned line faults again until software repairs
 		// it (MCEPoison policy).
+		//lint:allow zeroalloc the machine-check path is cold; the handler owns its allocation budget
 		p.raiseMCE(start, line)
 		p.readLat.Add(start.Sub(now))
 		return start
@@ -269,6 +276,7 @@ func (p *PSM) Read(now sim.Time, line uint64) sim.Time {
 			repaired = true
 		}
 		if !repaired {
+			//lint:allow zeroalloc the uncontained-corruption path is cold by construction
 			done, _ = p.handleUncontained(done, line)
 		}
 	}
@@ -290,6 +298,8 @@ func (p *PSM) raiseMCE(now sim.Time, line uint64) {
 
 // program issues one media write for a line at time at, honoring the
 // early-return policy, and returns when the PSM may proceed.
+//
+//lightpc:zeroalloc
 func (p *PSM) program(at sim.Time, line uint64) sim.Time {
 	d, di, inner := p.mapLine(line)
 	_ = di
@@ -313,6 +323,8 @@ func (p *PSM) program(at sim.Time, line uint64) sim.Time {
 
 // Write services a 64 B cacheline write and returns the time the host is
 // acknowledged.
+//
+//lightpc:zeroalloc
 func (p *PSM) Write(now sim.Time, line uint64) sim.Time {
 	p.stats.Writes++
 	start := now.Add(p.cfg.PortLatency)

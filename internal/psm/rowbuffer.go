@@ -14,24 +14,34 @@ type rowBuffer struct {
 }
 
 // windowOf computes the window index for a line.
+//
+//lightpc:zeroalloc
 func windowOf(line, windowLines uint64) uint64 { return line / windowLines }
 
 // hit reports whether the line falls in the open window.
+//
+//lightpc:zeroalloc
 func (rb *rowBuffer) hit(line, windowLines uint64) bool {
 	return rb.open && windowOf(line, windowLines) == rb.window
 }
 
 // dirtyBit returns the bitmap mask for a line within the window.
+//
+//lightpc:zeroalloc
 func dirtyBit(line, windowLines uint64) uint64 {
 	return 1 << (line % windowLines)
 }
 
 // markDirty records a buffered write.
+//
+//lightpc:zeroalloc
 func (rb *rowBuffer) markDirty(line, windowLines uint64) {
 	rb.dirty |= dirtyBit(line, windowLines)
 }
 
 // isDirty reports whether the line has buffered (not yet programmed) data.
+//
+//lightpc:zeroalloc
 func (rb *rowBuffer) isDirty(line, windowLines uint64) bool {
 	return rb.open && windowOf(line, windowLines) == rb.window &&
 		rb.dirty&dirtyBit(line, windowLines) != 0
@@ -40,6 +50,8 @@ func (rb *rowBuffer) isDirty(line, windowLines uint64) bool {
 // drainInto appends the dirty lines to buf and empties the buffer. Every
 // window close and flush drains; callers pass a reused scratch slice so the
 // hot path allocates nothing.
+//
+//lightpc:zeroalloc
 func (rb *rowBuffer) drainInto(windowLines uint64, buf []uint64) []uint64 {
 	if !rb.open || rb.dirty == 0 {
 		rb.open = false
@@ -49,6 +61,7 @@ func (rb *rowBuffer) drainInto(windowLines uint64, buf []uint64) []uint64 {
 	base := rb.window * windowLines
 	for i := uint64(0); i < windowLines && i < 64; i++ {
 		if rb.dirty&(1<<i) != 0 {
+			//lint:allow zeroalloc callers pass a reused scratch slice; growth is amortized
 			buf = append(buf, base+i)
 		}
 	}
@@ -58,6 +71,8 @@ func (rb *rowBuffer) drainInto(windowLines uint64, buf []uint64) []uint64 {
 }
 
 // openWindow switches the buffer to a new window (caller drains first).
+//
+//lightpc:zeroalloc
 func (rb *rowBuffer) openWindow(line, windowLines uint64) {
 	rb.open = true
 	rb.window = windowOf(line, windowLines)

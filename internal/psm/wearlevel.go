@@ -53,6 +53,8 @@ func gcd(a, b uint64) uint64 {
 func (s *StartGap) PhysicalLines() uint64 { return s.lines + 1 }
 
 // Map translates a logical line to its current physical slot.
+//
+//lightpc:zeroalloc
 func (s *StartGap) Map(la uint64) uint64 {
 	if la >= s.lines {
 		panic("psm: logical line out of range")
@@ -72,6 +74,8 @@ func (s *StartGap) Map(la uint64) uint64 {
 // RecordWrite accounts one serviced write; it reports true when the write
 // crossed the threshold and the gap moved (the caller charges one
 // block-copy read+write to the device timing model).
+//
+//lightpc:zeroalloc
 func (s *StartGap) RecordWrite() (moved bool) {
 	s.writes++
 	if s.writes%s.threshold != 0 {

@@ -16,10 +16,12 @@ type EventID uint64
 // NoEvent is the invalid handle; Cancel(NoEvent) is a no-op.
 const NoEvent EventID = 0
 
+//lightpc:zeroalloc
 func makeEventID(idx int32, gen uint32) EventID {
 	return EventID(uint64(gen)<<32 | uint64(uint32(idx)+1))
 }
 
+//lightpc:zeroalloc
 func (id EventID) split() (idx int32, gen uint32, ok bool) {
 	lo := uint32(id)
 	if lo == 0 {
@@ -119,12 +121,15 @@ func (e *Engine) Stats() EngineStats {
 }
 
 // alloc takes a slot off the free list (or grows the arena) and fills it.
+//
+//lightpc:zeroalloc
 func (e *Engine) alloc(at Time, label string, fn func(now Time)) int32 {
 	var idx int32
 	if e.free >= 0 {
 		idx = e.free
 		e.free = e.slots[idx].next
 	} else {
+		//lint:allow zeroalloc arena growth is amortized; steady state reuses the free list
 		e.slots = append(e.slots, eventSlot{})
 		idx = int32(len(e.slots) - 1)
 	}
@@ -141,6 +146,8 @@ func (e *Engine) alloc(at Time, label string, fn func(now Time)) int32 {
 
 // release returns a slot to the free list, bumping its generation so every
 // outstanding EventID naming it goes stale.
+//
+//lightpc:zeroalloc
 func (e *Engine) release(idx int32) {
 	s := &e.slots[idx]
 	s.fn = nil
@@ -154,6 +161,8 @@ func (e *Engine) release(idx int32) {
 // Schedule queues fn to run after delay. It returns the event handle, which
 // may be canceled. A negative delay is an error in the caller; it panics to
 // surface the bug immediately.
+//
+//lightpc:zeroalloc
 func (e *Engine) Schedule(delay Duration, label string, fn func(now Time)) EventID {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for event %q", delay, label))
@@ -166,12 +175,15 @@ func (e *Engine) Schedule(delay Duration, label string, fn func(now Time)) Event
 // take a heap-free fast path: a newly scheduled event carries the largest
 // sequence number so far, so appending it to the immediate ring keeps the
 // ring sorted by (time, seq).
+//
+//lightpc:zeroalloc
 func (e *Engine) ScheduleAt(at Time, label string, fn func(now Time)) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", label, at, e.now))
 	}
 	idx := e.alloc(at, label, fn)
 	if at == e.now {
+		//lint:allow zeroalloc ring backing is reused after each drain; growth is amortized
 		e.imm = append(e.imm, idx)
 		e.immHits++
 	} else {
@@ -184,6 +196,8 @@ func (e *Engine) ScheduleAt(at Time, label string, fn func(now Time)) EventID {
 // already-canceled, or zero handle is a no-op. Cancellation is lazy: the
 // slot is marked dead and collected when it reaches the front of its queue,
 // so Cancel is O(1) and never disturbs heap order.
+//
+//lightpc:zeroalloc
 func (e *Engine) Cancel(id EventID) {
 	idx, gen, ok := id.split()
 	if !ok || int(idx) >= len(e.slots) {
@@ -201,6 +215,8 @@ func (e *Engine) Cancel(id EventID) {
 // top reports the queue structure holding the global minimum (time, seq):
 // the heap root or the immediate-ring head. ok is false when both are
 // empty.
+//
+//lightpc:zeroalloc
 func (e *Engine) top() (idx int32, fromImm, ok bool) {
 	hasHeap := len(e.heap) > 0
 	hasImm := e.immHead < len(e.imm)
@@ -220,6 +236,8 @@ func (e *Engine) top() (idx int32, fromImm, ok bool) {
 }
 
 // popTop removes the entry top reported.
+//
+//lightpc:zeroalloc
 func (e *Engine) popTop(fromImm bool) {
 	if fromImm {
 		e.immHead++
@@ -242,6 +260,8 @@ func (e *Engine) popTop(fromImm bool) {
 // peek skips to the earliest live event, collecting canceled slots along
 // the way, and reports its slot index without removing it. It is the single
 // place canceled events are reaped — Step and RunUntil both go through it.
+//
+//lightpc:zeroalloc
 func (e *Engine) peek() (idx int32, fromImm, ok bool) {
 	for {
 		idx, fromImm, ok = e.top()
@@ -259,6 +279,8 @@ func (e *Engine) peek() (idx int32, fromImm, ok bool) {
 
 // dispatch pops the peeked minimum and runs it. The slot is released before
 // the callback runs so nested Schedule calls can reuse it.
+//
+//lightpc:zeroalloc
 func (e *Engine) dispatch(idx int32, fromImm bool) {
 	e.popTop(fromImm)
 	s := &e.slots[idx]
@@ -267,11 +289,14 @@ func (e *Engine) dispatch(idx int32, fromImm bool) {
 	e.live--
 	e.now = at
 	e.events++
+	//lint:allow zeroalloc the event callback owns its own allocation budget
 	fn(e.now)
 }
 
 // Step runs the single earliest event. It reports false when the queue is
 // empty.
+//
+//lightpc:zeroalloc
 func (e *Engine) Step() bool {
 	idx, fromImm, ok := e.peek()
 	if !ok {
@@ -282,6 +307,8 @@ func (e *Engine) Step() bool {
 }
 
 // Run dispatches events until the queue drains.
+//
+//lightpc:zeroalloc
 func (e *Engine) Run() {
 	for e.Step() {
 	}
@@ -289,6 +316,8 @@ func (e *Engine) Run() {
 
 // RunUntil dispatches events with timestamps at or before deadline, then
 // advances the clock to deadline (if the clock has not already passed it).
+//
+//lightpc:zeroalloc
 func (e *Engine) RunUntil(deadline Time) {
 	for {
 		idx, fromImm, ok := e.peek()
@@ -303,9 +332,13 @@ func (e *Engine) RunUntil(deadline Time) {
 }
 
 // RunFor advances simulated time by d, dispatching due events.
+//
+//lightpc:zeroalloc
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 
 // less orders slots by (time, seq).
+//
+//lightpc:zeroalloc
 func (e *Engine) less(a, b int32) bool {
 	sa, sb := &e.slots[a], &e.slots[b]
 	if sa.at != sb.at {
@@ -318,7 +351,9 @@ func (e *Engine) less(a, b int32) bool {
 // touched per sift) and free of the container/heap interface boxing that
 // the old *Event implementation paid on every Push/Pop.
 
+//lightpc:zeroalloc
 func (e *Engine) heapPush(idx int32) {
+	//lint:allow zeroalloc heap backing is amortized, bounded by peak pending events
 	e.heap = append(e.heap, idx)
 	if len(e.heap) > e.heapMax {
 		e.heapMax = len(e.heap)
@@ -334,6 +369,7 @@ func (e *Engine) heapPush(idx int32) {
 	}
 }
 
+//lightpc:zeroalloc
 func (e *Engine) heapPop() {
 	n := len(e.heap) - 1
 	e.heap[0] = e.heap[n]

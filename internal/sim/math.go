@@ -6,6 +6,11 @@ import "math"
 
 const pi = math.Pi
 
+//lightpc:zeroalloc
 func mathLog(x float64) float64 { return math.Log(x) }
-func sqrt(x float64) float64    { return math.Sqrt(x) }
-func cos(x float64) float64     { return math.Cos(x) }
+
+//lightpc:zeroalloc
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+//lightpc:zeroalloc
+func cos(x float64) float64 { return math.Cos(x) }

@@ -23,6 +23,8 @@ func NewRNG(seed uint64) *RNG {
 }
 
 // Uint64 returns the next 64 random bits.
+//
+//lightpc:zeroalloc
 func (r *RNG) Uint64() uint64 {
 	s := &r.s
 	result := rotl(s[1]*5, 7) * 9
@@ -36,9 +38,12 @@ func (r *RNG) Uint64() uint64 {
 	return result
 }
 
+//lightpc:zeroalloc
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Intn returns a uniform integer in [0, n). It panics when n <= 0.
+//
+//lightpc:zeroalloc
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
@@ -47,6 +52,8 @@ func (r *RNG) Intn(n int) int {
 }
 
 // Uint64n returns a uniform integer in [0, n). It panics when n == 0.
+//
+//lightpc:zeroalloc
 func (r *RNG) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("sim: Uint64n with zero n")
@@ -55,14 +62,20 @@ func (r *RNG) Uint64n(n uint64) uint64 {
 }
 
 // Float64 returns a uniform float in [0, 1).
+//
+//lightpc:zeroalloc
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Bool returns true with probability p.
+//
+//lightpc:zeroalloc
 func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
 
 // Exp returns an exponentially distributed duration with the given mean.
+//
+//lightpc:zeroalloc
 func (r *RNG) Exp(mean Duration) Duration {
 	u := r.Float64()
 	// Avoid log(0).
@@ -75,11 +88,15 @@ func (r *RNG) Exp(mean Duration) Duration {
 // negLog1m computes -ln(1-u) via a series-free call to math.Log would pull
 // in math; the simulation only needs modest accuracy, so use the identity
 // with the standard library once. (math is part of the stdlib and cheap.)
+//
+//lightpc:zeroalloc
 func negLog1m(u float64) float64 {
 	return -ln(1 - u)
 }
 
 // ln is a thin wrapper kept separate for testability.
+//
+//lightpc:zeroalloc
 func ln(x float64) float64 {
 	// Use math.Log via an indirection-free import in log.go to keep this
 	// file dependency-light for documentation purposes.
@@ -88,6 +105,8 @@ func ln(x float64) float64 {
 
 // Norm returns a normally distributed value with the given mean and standard
 // deviation (Box–Muller, one value per call for simplicity).
+//
+//lightpc:zeroalloc
 func (r *RNG) Norm(mean, stddev float64) float64 {
 	u1 := r.Float64()
 	u2 := r.Float64()

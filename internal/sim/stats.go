@@ -29,7 +29,10 @@ func (h *Histogram) Reserve(n int) {
 }
 
 // Add records one sample.
+//
+//lightpc:zeroalloc
 func (h *Histogram) Add(d Duration) {
+	//lint:allow zeroalloc Reserve pre-sizes the buffer; steady-state Adds reuse it
 	h.samples = append(h.samples, d)
 	h.sum += d
 	h.sorted = false
@@ -115,12 +118,18 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//lightpc:zeroalloc
 func (c *Counter) Inc() { c.n++ }
 
 // Addn adds n.
+//
+//lightpc:zeroalloc
 func (c *Counter) Addn(n uint64) { c.n += n }
 
 // Value reports the tally.
+//
+//lightpc:zeroalloc
 func (c *Counter) Value() uint64 { return c.n }
 
 // Ratio reports c / total, or 0 when total is zero.

@@ -27,18 +27,28 @@ const (
 )
 
 // Add returns the timestamp d after t.
+//
+//lightpc:zeroalloc
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 
 // Sub returns the duration elapsed from u to t.
+//
+//lightpc:zeroalloc
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
 // Before reports whether t precedes u.
+//
+//lightpc:zeroalloc
 func (t Time) Before(u Time) bool { return t < u }
 
 // After reports whether t follows u.
+//
+//lightpc:zeroalloc
 func (t Time) After(u Time) bool { return t > u }
 
 // Max returns the later of a and b.
+//
+//lightpc:zeroalloc
 func Max(a, b Time) Time {
 	if a > b {
 		return a
@@ -47,6 +57,8 @@ func Max(a, b Time) Time {
 }
 
 // Min returns the earlier of a and b.
+//
+//lightpc:zeroalloc
 func Min(a, b Time) Time {
 	if a < b {
 		return a
@@ -55,15 +67,23 @@ func Min(a, b Time) Time {
 }
 
 // Milliseconds reports d as floating-point milliseconds.
+//
+//lightpc:zeroalloc
 func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
 
 // Microseconds reports d as floating-point microseconds.
+//
+//lightpc:zeroalloc
 func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
 
 // Nanoseconds reports d as floating-point nanoseconds.
+//
+//lightpc:zeroalloc
 func (d Duration) Nanoseconds() float64 { return float64(d) / float64(Nanosecond) }
 
 // Seconds reports d as floating-point seconds.
+//
+//lightpc:zeroalloc
 func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
 
 // String renders the duration with an adaptive unit.
@@ -88,18 +108,26 @@ func (d Duration) String() string {
 func (t Time) String() string { return Duration(t).String() }
 
 // Cycles converts a cycle count at the given frequency (Hz) to a duration.
+//
+//lightpc:zeroalloc
 func Cycles(n int64, hz float64) Duration {
 	return Duration(float64(n) * 1e12 / hz)
 }
 
 // ToCycles converts a duration to cycles at the given frequency (Hz),
 // rounding to nearest.
+//
+//lightpc:zeroalloc
 func (d Duration) ToCycles(hz float64) int64 {
 	return int64(float64(d)*hz/1e12 + 0.5)
 }
 
 // FromSeconds converts floating-point seconds into a Duration.
+//
+//lightpc:zeroalloc
 func FromSeconds(s float64) Duration { return Duration(s * float64(Second)) }
 
 // FromNanoseconds converts floating-point nanoseconds into a Duration.
+//
+//lightpc:zeroalloc
 func FromNanoseconds(ns float64) Duration { return Duration(ns * float64(Nanosecond)) }
