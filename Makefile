@@ -2,7 +2,7 @@ GO ?= go
 BIN := bin
 LINT := $(BIN)/lightpc-lint
 
-.PHONY: all build test race vet lint bench bench-json profile perfdiff fuzz-smoke obs-smoke ci clean
+.PHONY: all build test race vet lint bench bench-json profile perfdiff fuzz-smoke obs-smoke crash-smoke ci clean
 
 all: build
 
@@ -68,6 +68,7 @@ fuzz-smoke:
 	$(GO) test ./internal/workload -run='^$$' -fuzz=FuzzTraceRoundTrip -fuzztime=2s
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzEngineScheduleCancel -fuzztime=2s
 	$(GO) test ./internal/linetab -run='^$$' -fuzz=FuzzLineTab -fuzztime=2s
+	$(GO) test ./internal/crashpoint -run='^$$' -fuzz=FuzzCrashCut -fuzztime=2s
 
 # obs-smoke: run one instrumented SnG scenario and a 4-seed sweep through
 # lightpc-obs, then re-validate every artifact with the built-in schema
@@ -81,7 +82,20 @@ obs-smoke: | $(BIN)
 		-trace $(BIN)/obs-sweep.json -metrics $(BIN)/obs-sweep.prom
 	$(BIN)/lightpc-obs -check-trace $(BIN)/obs-sweep.json -check-prom $(BIN)/obs-sweep.prom
 
-ci: build vet lint test race fuzz-smoke obs-smoke
+# crash-smoke: a bounded crash-point adversary pass — word-granular
+# enumeration of every persistence mechanism, a bisection locating the
+# exact commit instant inside the hold-up window, and a small cut-matrix
+# sweep. Any invariant violation fails the target; the wall time is
+# printed so CI logs track the cost as scenarios grow.
+crash-smoke: | $(BIN)
+	@start=$$(date +%s%N); \
+	$(GO) build -o $(BIN)/lightpc-crash ./cmd/lightpc-crash && \
+	$(BIN)/lightpc-crash -mode enum -target all -q && \
+	$(BIN)/lightpc-crash -mode bisect -q && \
+	$(BIN)/lightpc-crash -mode sweep -workloads Redis -seeds 1 -cuts 4 -j 0 -q && \
+	echo "crash-smoke: all recovery invariants hold in $$(( ($$(date +%s%N) - start) / 1000000 )) ms"
+
+ci: build vet lint test race fuzz-smoke obs-smoke crash-smoke
 
 clean:
 	rm -rf $(BIN)

@@ -1,0 +1,161 @@
+package crashpoint
+
+import (
+	"encoding/json"
+
+	"repro/internal/sim"
+)
+
+// BisectPhase is one SnG Stop phase with its boundaries, for the report.
+type BisectPhase struct {
+	Name    string `json:"name"`
+	StartPs int64  `json:"start_ps"`
+	DurPs   int64  `json:"dur_ps"`
+}
+
+// BisectProbe is one probed cut in the search log.
+type BisectProbe struct {
+	OffsetPs  int64 `json:"offset_ps"`
+	Completed bool  `json:"completed"`
+}
+
+// BisectReport locates the exact commit instant inside the hold-up window.
+type BisectReport struct {
+	Scenario string `json:"scenario"`
+	WindowPs int64  `json:"window_ps"`
+
+	// FullStopTotalPs is the unconstrained Stop duration (the reference
+	// run's Total); phases decompose it.
+	FullStopTotalPs int64         `json:"full_stop_total_ps"`
+	Phases          []BisectPhase `json:"phases"`
+
+	// CommitInstantPs is the minimal cut offset at which Stop completes:
+	// any cut at or after it recovers warm, any cut before it cold-boots.
+	CommitInstantPs int64 `json:"commit_instant_ps"`
+
+	// FirstVulnerablePs..LastVulnerablePs is the closed range of cut
+	// offsets that lose execution state (cold boot). Empty (Last < First)
+	// only if the whole window is safe, which cannot happen: offset 0
+	// never commits.
+	FirstVulnerablePs int64 `json:"first_vulnerable_ps"`
+	LastVulnerablePs  int64 `json:"last_vulnerable_ps"`
+
+	// BoundaryMatchesFullRun confirms the located commit instant equals the
+	// reference run's Total — the deadline mechanism is exact, not fuzzy.
+	BoundaryMatchesFullRun bool `json:"boundary_matches_full_run"`
+
+	// NeverCompletes is set when even the full window cannot fit Stop (the
+	// scenario overruns its hold-up budget); the vulnerable range is then
+	// the whole window.
+	NeverCompletes bool   `json:"never_completes"`
+	OverrunPhase   string `json:"overrun_phase,omitempty"`
+
+	Probes     []BisectProbe `json:"probes"`
+	Violations []Violation   `json:"violations,omitempty"`
+}
+
+// JSON renders the report with stable field order and indentation.
+func (r BisectReport) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Bisect binary-searches the hold-up window of the scenario for the commit
+// instant: the minimal cut offset at which SnG's Stop completes. Every
+// probe builds a fresh same-seed System (a cut consumes it), so the search
+// is deterministic and each probe's invariants are checked as it runs.
+//
+// The search space is seeded from the reference run's phase timeline: no
+// cut before the offline phase begins can possibly commit, so the lower
+// bound starts there rather than at zero.
+func Bisect(sc Scenario) (BisectReport, error) {
+	probe := func(offset sim.Duration) (CutOutcome, error) {
+		s, err := Build(sc)
+		if err != nil {
+			return CutOutcome{}, err
+		}
+		return s.CutAt(offset), nil
+	}
+
+	// Reference run: the full window.
+	ref, err := Build(sc)
+	if err != nil {
+		return BisectReport{}, err
+	}
+	rep := BisectReport{
+		Scenario: ref.Scenario.Workload,
+		WindowPs: int64(ref.Window),
+	}
+	window := ref.Window
+	full := ref.CutAt(window)
+	rep.Violations = append(rep.Violations, full.Violations...)
+	rep.FullStopTotalPs = full.StopTotalPs
+	rep.Probes = append(rep.Probes, BisectProbe{int64(window), full.Completed})
+
+	// The phase decomposition comes from an unconstrained Stop on another
+	// fresh system (the full-window run's phases are identical when it
+	// completes, but the overrun case still needs the true shape).
+	shape, err := Build(sc)
+	if err != nil {
+		return BisectReport{}, err
+	}
+	stopRep := shape.Platform.SnG().Stop(0, sim.Time(1<<62))
+	for _, ph := range stopRep.Phases {
+		rep.Phases = append(rep.Phases, BisectPhase{ph.Name, int64(ph.Start), int64(ph.Dur)})
+	}
+
+	if !full.Completed {
+		rep.NeverCompletes = true
+		rep.OverrunPhase = full.OverrunPhase
+		rep.FirstVulnerablePs = 0
+		rep.LastVulnerablePs = int64(window)
+		rep.CommitInstantPs = -1
+		return rep, nil
+	}
+
+	// Invariant of the search: Stop completes at hi, not at lo. The commit
+	// instant is the minimal completing offset. Seed lo from the offline
+	// phase start (nothing earlier can commit), clamped into the window.
+	lo := sim.Duration(0)
+	if n := len(stopRep.Phases); n > 0 {
+		last := stopRep.Phases[n-1]
+		if off := sim.Duration(last.Start); off > 0 && off < window {
+			lo = off
+			out, err := probe(lo)
+			if err != nil {
+				return rep, err
+			}
+			rep.Probes = append(rep.Probes, BisectProbe{int64(lo), out.Completed})
+			rep.Violations = append(rep.Violations, out.Violations...)
+			if out.Completed {
+				// The offline phase start already commits (cannot happen —
+				// the commit is the phase's last step); fall back to a full
+				// search rather than report nonsense.
+				lo = 0
+			}
+		}
+	}
+	hi := window
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		out, err := probe(mid)
+		if err != nil {
+			return rep, err
+		}
+		rep.Probes = append(rep.Probes, BisectProbe{int64(mid), out.Completed})
+		rep.Violations = append(rep.Violations, out.Violations...)
+		if out.Completed {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	rep.CommitInstantPs = int64(hi)
+	rep.FirstVulnerablePs = 0
+	rep.LastVulnerablePs = int64(hi) - 1
+	rep.BoundaryMatchesFullRun = rep.CommitInstantPs == rep.FullStopTotalPs
+	return rep, nil
+}

@@ -1,0 +1,47 @@
+package crashpoint
+
+import "testing"
+
+// TestBisectFindsCommitInstant: the located boundary must equal the
+// reference run's Stop total exactly (the deadline mechanism is precise to
+// the picosecond), with the vulnerable range ending one instant before it,
+// and no probe may violate an invariant.
+func TestBisectFindsCommitInstant(t *testing.T) {
+	rep, err := Bisect(tinyScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("probe violations: %v", rep.Violations)
+	}
+	if rep.NeverCompletes {
+		t.Fatalf("scenario overran its window: %+v", rep)
+	}
+	if !rep.BoundaryMatchesFullRun {
+		t.Fatalf("commit instant %d != full-run Stop total %d",
+			rep.CommitInstantPs, rep.FullStopTotalPs)
+	}
+	if rep.FirstVulnerablePs != 0 || rep.LastVulnerablePs != rep.CommitInstantPs-1 {
+		t.Fatalf("vulnerable range [%d, %d] does not abut commit instant %d",
+			rep.FirstVulnerablePs, rep.LastVulnerablePs, rep.CommitInstantPs)
+	}
+	if len(rep.Phases) != 3 {
+		t.Fatalf("expected 3 Stop phases, got %v", rep.Phases)
+	}
+}
+
+// TestBisectDeterministic: two runs of the same scenario produce
+// byte-identical reports (same probes, same boundary).
+func TestBisectDeterministic(t *testing.T) {
+	a, err := Bisect(tinyScenario(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bisect(tinyScenario(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.JSON()) != string(b.JSON()) {
+		t.Fatalf("non-deterministic bisect:\n%s\nvs\n%s", a.JSON(), b.JSON())
+	}
+}

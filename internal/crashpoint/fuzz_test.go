@@ -1,0 +1,43 @@
+package crashpoint
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// FuzzCrashCut throws arbitrary (seed, offset, workload, commit-size)
+// tuples at the cut engine: whatever the fuzzer picks, a cut anywhere in
+// the hold-up window must violate no recovery invariant. Any finding is a
+// real crash-consistency bug somewhere in the Stop/Go, journal, pmdk, or
+// checkpoint stacks.
+func FuzzCrashCut(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(5))
+	f.Add(uint64(2), uint64(1), uint64(1), uint64(1))
+	f.Add(uint64(3), uint64(1<<20), uint64(2), uint64(3))
+	f.Add(uint64(7), ^uint64(0), uint64(3), uint64(9))
+	f.Fuzz(func(t *testing.T, seed, cutPs, wlIdx, opsPerCommit uint64) {
+		specs := workload.Table2()
+		sc := Scenario{
+			Seed:         seed%1024 + 1,
+			Cores:        2,
+			UserProcs:    6,
+			KernelProcs:  4,
+			Devices:      10,
+			Ticks:        2,
+			Workload:     specs[wlIdx%uint64(len(specs))].Name,
+			AppOps:       32,
+			OpsPerCommit: int(opsPerCommit%8) + 1,
+		}
+		s, err := Build(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offset := sim.Duration(cutPs % (uint64(s.Window) + 1))
+		out := s.CutAt(offset)
+		if len(out.Violations) != 0 {
+			t.Fatalf("cut at %v (seed %d, %s): %v", offset, sc.Seed, sc.Workload, out.Violations)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package crashpoint
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+)
+
+// CheckHibernate enumerates every word-granular crash state of a SysPC
+// hibernation dump. For each prefix of the image writes, a same-seed
+// kernel is rebuilt over the reconstructed OC-PMEM image, power is lost
+// (wiping DRAM), and resume is attempted:
+//
+//   - any prefix short of the full image must be rejected (the magic word
+//     is published last — a partial image accepted is a torn commit, I3);
+//   - the complete image must resume with DRAM contents and PCB metadata
+//     byte-identical to what was dumped (I1).
+func CheckHibernate(seed uint64, ticks int) []Violation {
+	cfg := kernel.DefaultConfig()
+	cfg.Seed = seed
+	cfg.PersistentProcs = false // SysPC runs on LegacyPC: everything in DRAM
+	cfg.Cores = 2
+	cfg.UserProcs = 6
+	cfg.KernelProcs = 4
+	cfg.Devices = 8
+	k := kernel.New(cfg)
+	k.Tick(ticks)
+
+	rec := Record(k.OCPMEM)
+	k.Hibernate()
+	rec.Stop()
+
+	// The reference image: DRAM and PCB metadata as dumped (Hibernate
+	// parks everything first, so this is the frozen state).
+	wantDRAM := k.DRAM.Checksum()
+	type meta struct {
+		coreID, nice int
+		vruntime     uint64
+	}
+	want := make(map[int]meta, len(k.Procs))
+	for _, p := range k.Procs {
+		want[p.PID] = meta{p.CoreID, p.Nice, p.VRuntime}
+	}
+
+	var out []Violation
+	n := rec.Writes()
+	for cut := 0; cut <= n; cut++ {
+		label := fmt.Sprintf("write %d/%d", cut, n)
+		k2 := kernel.NewWithBank(cfg, rec.BankAt(cut))
+		k2.PowerLoss()
+		resumed := k2.ResumeFromHibernate()
+		if cut < n {
+			if resumed {
+				out = append(out, violationf(label, InvTornCommit,
+					"partial hibernation image (%d of %d words) accepted", cut, n))
+			}
+			continue
+		}
+		if !resumed {
+			out = append(out, violationf(label, InvLostCommit, "complete hibernation image rejected"))
+			continue
+		}
+		if got := k2.DRAM.Checksum(); got != wantDRAM {
+			out = append(out, violationf(label, InvRestorable,
+				"DRAM image mismatch after resume: %#x != %#x", got, wantDRAM))
+		}
+		for _, p := range k2.Procs {
+			w, ok := want[p.PID]
+			if !ok {
+				continue
+			}
+			if p.State == kernel.TaskStopped {
+				out = append(out, violationf(label, InvRestorable, "pid %d not revived", p.PID))
+				continue
+			}
+			wantCore := w.coreID
+			if wantCore < 0 || wantCore >= cfg.Cores {
+				wantCore = 0 // Unpark places homeless tasks on core 0
+			}
+			if p.CoreID != wantCore || p.Nice != w.nice || p.VRuntime != w.vruntime {
+				out = append(out, violationf(label, InvRestorable,
+					"pid %d metadata mismatch: core %d/%d nice %d/%d vruntime %d/%d",
+					p.PID, p.CoreID, wantCore, p.Nice, w.nice, p.VRuntime, w.vruntime))
+			}
+		}
+	}
+	return out
+}

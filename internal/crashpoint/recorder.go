@@ -1,0 +1,54 @@
+package crashpoint
+
+import "repro/internal/kernel"
+
+// bankOp is one recorded mutation's undo information.
+type bankOp struct {
+	addr, old uint64
+	hadOld    bool
+}
+
+// Recorder observes every mutation of a bank and can reconstruct the bank
+// image as it stood after any prefix of those mutations — the exhaustive
+// word-granular crash-state enumeration. Only one recorder may be attached
+// to a bank at a time.
+type Recorder struct {
+	bank *kernel.Bank
+	ops  []bankOp
+}
+
+// Record attaches a recorder to the bank. Every Write and Delete from here
+// until Stop is captured with its undo information.
+func Record(b *kernel.Bank) *Recorder {
+	r := &Recorder{bank: b}
+	b.SetWriteObserver(r.observe)
+	return r
+}
+
+func (r *Recorder) observe(addr, old uint64, hadOld bool) {
+	r.ops = append(r.ops, bankOp{addr: addr, old: old, hadOld: hadOld})
+}
+
+// Stop detaches the recorder. BankAt stays valid only while the bank is
+// not mutated further.
+func (r *Recorder) Stop() { r.bank.SetWriteObserver(nil) }
+
+// Writes reports how many mutations were recorded.
+func (r *Recorder) Writes() int { return len(r.ops) }
+
+// BankAt returns an independent copy of the bank as it stood after the
+// first k recorded mutations (k = 0 is the pre-recording image, k =
+// Writes() the final one): the final image is cloned and the recorded
+// undo entries are applied newest-first down to k.
+func (r *Recorder) BankAt(k int) *kernel.Bank {
+	c := r.bank.Clone()
+	for i := len(r.ops) - 1; i >= k; i-- {
+		op := r.ops[i]
+		if op.hadOld {
+			c.Write(op.addr, op.old)
+		} else {
+			c.Delete(op.addr)
+		}
+	}
+	return c
+}

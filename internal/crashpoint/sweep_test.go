@@ -1,0 +1,55 @@
+package crashpoint
+
+import "testing"
+
+// sweepConfig is a small two-cell matrix for the parallelism tests.
+func sweepConfig(jobs int) SweepConfig {
+	return SweepConfig{
+		Base:        tinyScenario(0),
+		Workloads:   []string{"Redis", "SQLite"},
+		Seeds:       []uint64{1, 2},
+		CutsPerCell: 4,
+		Jobs:        jobs,
+	}
+}
+
+// TestSweepClean: the default matrix completes with zero violations and
+// covers both cold and warm outcomes in every cell.
+func TestSweepClean(t *testing.T) {
+	rep, err := Sweep(sweepConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalViolations != 0 {
+		t.Fatalf("sweep violations: %+v", rep.Cells)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("expected 4 cells, got %d", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		cold, warm := false, false
+		for _, cut := range c.Cuts {
+			cold = cold || cut.ColdBooted
+			warm = warm || cut.Recovered
+		}
+		if !cold || !warm {
+			t.Fatalf("cell %s grid one-sided: cold=%v warm=%v", c.Label, cold, warm)
+		}
+	}
+}
+
+// TestSweepParallelismInvariant: -j 1 and -j 4 merge to byte-identical
+// reports (the determinism contract of DESIGN.md).
+func TestSweepParallelismInvariant(t *testing.T) {
+	serial, err := Sweep(sweepConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(sweepConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(serial.JSON()) != string(parallel.JSON()) {
+		t.Fatal("sweep report differs between -j 1 and -j 4")
+	}
+}

@@ -1,0 +1,225 @@
+package journal
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pmemdimm"
+	"repro/internal/sim"
+)
+
+// newCrashStore builds a store over a fresh sector device.
+func newCrashStore() *Store {
+	return Open(pmemdimm.NewSectorDevice(pmemdimm.New(pmemdimm.DefaultConfig())))
+}
+
+// TestCrashRecoverTable drives the store through scripted histories, cuts
+// power at the scripted instant, and compares recovery against a shadow
+// map of the committed state: committed keys must survive exactly, staged
+// keys must vanish without trace.
+func TestCrashRecoverTable(t *testing.T) {
+	type step struct {
+		op  string // "put", "commit", "ckpt-step", "crash"
+		key uint64
+		val uint64
+		n   int
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			// The cut lands after a Put whose Commit never happened: the
+			// staged record must not surface.
+			name: "cut mid-transaction",
+			steps: []step{
+				{op: "put", key: 1, val: 10},
+				{op: "put", key: 2, val: 20},
+				{op: "commit"},
+				{op: "put", key: 3, val: 30},
+				{op: "crash"},
+			},
+		},
+		{
+			// The cut lands between a Put and its Commit with an earlier
+			// value for the same key committed: the old value must win.
+			name: "cut between put and commit",
+			steps: []step{
+				{op: "put", key: 7, val: 70},
+				{op: "commit"},
+				{op: "put", key: 7, val: 71},
+				{op: "crash"},
+			},
+		},
+		{
+			// The cut lands mid-checkpoint: two of four committed records
+			// migrated, the cursor lost. Recovery must still see all four.
+			name: "cut mid-checkpoint",
+			steps: []step{
+				{op: "put", key: 1, val: 11},
+				{op: "put", key: 2, val: 22},
+				{op: "put", key: 3, val: 33},
+				{op: "put", key: 4, val: 44},
+				{op: "commit"},
+				{op: "ckpt-step", n: 2},
+				{op: "crash"},
+			},
+		},
+		{
+			// The cut lands immediately after Commit: everything survives.
+			name: "cut after commit",
+			steps: []step{
+				{op: "put", key: 5, val: 50},
+				{op: "put", key: 6, val: 60},
+				{op: "commit"},
+				{op: "crash"},
+			},
+		},
+		{
+			// Two transactions with a full checkpoint between them, then an
+			// uncommitted tail.
+			name: "checkpointed prefix plus staged tail",
+			steps: []step{
+				{op: "put", key: 1, val: 100},
+				{op: "commit"},
+				{op: "ckpt-step", n: 10},
+				{op: "put", key: 2, val: 200},
+				{op: "commit"},
+				{op: "put", key: 9, val: 900},
+				{op: "crash"},
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newCrashStore()
+			committed := map[uint64]uint64{}
+			staged := map[uint64]uint64{}
+			now := sim.Time(0)
+			for _, st := range tc.steps {
+				switch st.op {
+				case "put":
+					now = s.Put(now, st.key, st.val)
+					staged[st.key] = st.val
+				case "commit":
+					now = s.Commit(now)
+					for k, v := range staged {
+						committed[k] = v
+					}
+					staged = map[uint64]uint64{}
+				case "ckpt-step":
+					now, _ = s.CheckpointStep(now, st.n)
+				case "crash":
+					s.Crash()
+					s.Recover(0)
+				}
+			}
+
+			if got, want := s.Len(), len(committed); got != want {
+				t.Fatalf("recovered %d keys, committed %d", got, want)
+			}
+			for k, want := range committed {
+				got, err := s.Get(k)
+				if err != nil {
+					t.Fatalf("committed key %d lost: %v", k, err)
+				}
+				if got != want {
+					t.Fatalf("key %d = %d, committed %d", k, got, want)
+				}
+			}
+			for k := range staged {
+				if _, ok := committed[k]; ok {
+					continue
+				}
+				if v, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+					t.Fatalf("staged key %d readable (= %d) after crash", k, v)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointStepEquivalence: driving an incremental checkpoint to
+// completion must leave the store in the same observable state as one
+// monolithic Checkpoint, including across a crash.
+func TestCheckpointStepEquivalence(t *testing.T) {
+	build := func() *Store {
+		s := newCrashStore()
+		now := sim.Time(0)
+		for k := uint64(0); k < 9; k++ {
+			now = s.Put(now, k, k*11)
+		}
+		s.Commit(now)
+		return s
+	}
+
+	mono := build()
+	mono.Checkpoint(0)
+
+	inc := build()
+	var done bool
+	steps := 0
+	for !done {
+		_, done = inc.CheckpointStep(0, 2)
+		if steps++; steps > 100 {
+			t.Fatal("incremental checkpoint does not terminate")
+		}
+	}
+
+	for _, s := range []*Store{mono, inc} {
+		s.Crash()
+		s.Recover(0)
+	}
+	if mono.Len() != inc.Len() {
+		t.Fatalf("len %d != %d", mono.Len(), inc.Len())
+	}
+	for k := uint64(0); k < 9; k++ {
+		a, errA := mono.Get(k)
+		b, errB := inc.Get(k)
+		if errA != nil || errB != nil || a != b {
+			t.Fatalf("key %d: mono %d/%v, incremental %d/%v", k, a, errA, b, errB)
+		}
+	}
+	_, _, monoCkpts := mono.Stats()
+	_, _, incCkpts := inc.Stats()
+	if monoCkpts != 1 || incCkpts != 1 {
+		t.Fatalf("checkpoint counted per completion run: mono %d, incremental %d", monoCkpts, incCkpts)
+	}
+}
+
+// TestCheckpointStepIdempotentAcrossCrash: a crash mid-migration loses
+// only the cursor; re-running the checkpoint after recovery re-applies
+// records without corrupting home.
+func TestCheckpointStepIdempotentAcrossCrash(t *testing.T) {
+	s := newCrashStore()
+	now := sim.Time(0)
+	for k := uint64(0); k < 6; k++ {
+		now = s.Put(now, k, k+100)
+	}
+	now = s.Commit(now)
+
+	// Migrate half, crash, recover, checkpoint fully.
+	now, done := s.CheckpointStep(now, 3)
+	if done {
+		t.Fatal("3 of 6 records reported complete")
+	}
+	s.Crash()
+	s.Recover(0)
+	s.Checkpoint(0)
+
+	if s.Len() != 6 {
+		t.Fatalf("len = %d after re-checkpoint", s.Len())
+	}
+	for k := uint64(0); k < 6; k++ {
+		if v, err := s.Get(k); err != nil || v != k+100 {
+			t.Fatalf("key %d = %d/%v", k, v, err)
+		}
+	}
+	// The log is truncated; another crash must recover from home alone.
+	s.Crash()
+	s.Recover(0)
+	if s.Len() != 6 {
+		t.Fatalf("len = %d after post-checkpoint crash", s.Len())
+	}
+}

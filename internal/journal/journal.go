@@ -37,6 +37,12 @@ type Store struct {
 	// home is the durable home location, updated at checkpoints.
 	home map[uint64]uint64
 
+	// ckptPos is the volatile cursor of an in-progress incremental
+	// checkpoint: records before it have been migrated into home. A crash
+	// only loses the cursor; the migration itself is idempotent (recovery
+	// replays the intact committed log over home).
+	ckptPos int
+
 	nextLBA uint64
 
 	appends, barriers, checkpoints uint64
@@ -103,23 +109,51 @@ func (s *Store) Get(key uint64) (uint64, error) {
 // truncates it (the background work that bounds recovery time). Returns
 // the completion time.
 func (s *Store) Checkpoint(now sim.Time) sim.Time {
-	s.checkpoints++
 	t := now
-	for _, r := range s.log[:s.committed] {
+	for {
+		var done bool
+		t, done = s.CheckpointStep(t, s.committed+1)
+		if done {
+			return t
+		}
+	}
+}
+
+// CheckpointStep migrates up to n committed records into the home location
+// and reports whether the checkpoint finished (the committed prefix fully
+// migrated and the log truncated). Splitting the migration into steps lets
+// callers interleave foreground work — and lets a power cut land in the
+// middle: the half-migrated state is still crash-consistent, because home
+// updates re-apply records the intact committed log would replay anyway.
+func (s *Store) CheckpointStep(now sim.Time, n int) (sim.Time, bool) {
+	if s.ckptPos == 0 {
+		s.checkpoints++
+	}
+	t := now
+	for n > 0 && s.ckptPos < s.committed {
+		r := s.log[s.ckptPos]
 		s.home[r.key] = r.value
 		t = s.dev.WriteSector(t, s.nextLBA%1024+2048) // home region
+		s.ckptPos++
+		n--
+	}
+	if s.ckptPos < s.committed {
+		return t, false
 	}
 	s.log = append([]logRecord{}, s.log[s.committed:]...)
 	s.committed = 0
-	return t
+	s.ckptPos = 0
+	return t, true
 }
 
 // Crash models a power failure: volatile state vanishes; only the home
-// location and the committed log prefix survive.
+// location and the committed log prefix survive. An in-progress
+// incremental checkpoint loses its cursor.
 func (s *Store) Crash() {
 	s.mem = make(map[uint64]uint64)
 	s.log = append([]logRecord{}, s.log[:s.committed]...)
 	s.committed = len(s.log)
+	s.ckptPos = 0
 }
 
 // Recover replays the committed log over the home location, rebuilding

@@ -37,8 +37,11 @@ func (k *Kernel) Hibernate() int {
 		k.Park(p)
 	}
 	moved := 0
+	// Invalidate any stale image first: a cut landing mid-dump must not
+	// find a magic word pointing at a partial image. The magic is
+	// published last, once every word of the image is in place.
+	k.OCPMEM.Write(hibBase+hibMagicOff, 0)
 	// PCB catalog: pid, state placeholder, core, nice, vruntime.
-	k.OCPMEM.Write(hibBase+hibMagicOff, hibMagic)
 	k.OCPMEM.Write(hibBase+hibCountOff, uint64(len(k.Procs)))
 	for i, p := range k.Procs {
 		base := hibBase + hibProcOff + uint64(i)*40
@@ -58,6 +61,8 @@ func (k *Kernel) Hibernate() int {
 	if k.DRAM != nil {
 		moved += k.DRAM.CopyTo(k.OCPMEM, hibBase+hibDRAMOff)
 	}
+	// Publish: the image becomes visible atomically with this one word.
+	k.OCPMEM.Write(hibBase+hibMagicOff, hibMagic)
 	k.DumpedBytes += uint64(moved) * 8
 	return moved
 }

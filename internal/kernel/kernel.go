@@ -118,6 +118,20 @@ type Kernel struct {
 // New constructs and populates the system: processes spread over cores with
 // the configured sleep mix, devices on the dpm list, and the memory banks.
 func New(cfg Config) *Kernel {
+	return NewWithBank(cfg, NewBank("ocpmem", true))
+}
+
+// NewWithBank constructs the system over an existing persistent bank — the
+// boot path when power returns: the silicon is re-initialized but OC-PMEM
+// still holds whatever the previous epoch persisted (BCB, DCBs, pools,
+// checkpoints, hibernation images).
+func NewWithBank(cfg Config, ocpmem *Bank) *Kernel {
+	if ocpmem == nil {
+		ocpmem = NewBank("ocpmem", true)
+	}
+	if !ocpmem.Persistent() {
+		panic("kernel: OC-PMEM bank must be persistent")
+	}
 	if cfg.Cores <= 0 {
 		cfg.Cores = 8
 	}
@@ -127,7 +141,7 @@ func New(cfg Config) *Kernel {
 	k := &Kernel{
 		cfg:    cfg,
 		rng:    sim.NewRNG(cfg.Seed),
-		OCPMEM: NewBank("ocpmem", true),
+		OCPMEM: ocpmem,
 	}
 	procBank := k.OCPMEM
 	if !cfg.PersistentProcs {

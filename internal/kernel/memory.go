@@ -9,7 +9,17 @@ type Bank struct {
 	name       string
 	persistent bool
 	words      map[uint64]uint64
+
+	// observer, when set, sees every mutation before it is applied (the
+	// crash-point adversary's instrumentation seam).
+	observer WriteObserver
 }
+
+// WriteObserver receives each mutation of a bank before it lands: the
+// address touched, the previous word there, and whether one existed. Both
+// Write and Delete report through it, so an observer can reconstruct the
+// bank image as of any prefix of the write stream.
+type WriteObserver func(addr, old uint64, hadOld bool)
 
 // NewBank builds a bank.
 func NewBank(name string, persistent bool) *Bank {
@@ -22,14 +32,29 @@ func (b *Bank) Name() string { return b.name }
 // Persistent reports whether contents survive power loss.
 func (b *Bank) Persistent() bool { return b.persistent }
 
+// SetWriteObserver installs (or, with nil, removes) the mutation observer.
+func (b *Bank) SetWriteObserver(fn WriteObserver) { b.observer = fn }
+
 // Write stores a word.
-func (b *Bank) Write(addr, val uint64) { b.words[addr] = val }
+func (b *Bank) Write(addr, val uint64) {
+	if b.observer != nil {
+		old, had := b.words[addr]
+		b.observer(addr, old, had)
+	}
+	b.words[addr] = val
+}
 
 // Read loads a word (absent addresses read as zero).
 func (b *Bank) Read(addr uint64) uint64 { return b.words[addr] }
 
 // Delete removes a word.
-func (b *Bank) Delete(addr uint64) { delete(b.words, addr) }
+func (b *Bank) Delete(addr uint64) {
+	if b.observer != nil {
+		old, had := b.words[addr]
+		b.observer(addr, old, had)
+	}
+	delete(b.words, addr)
+}
 
 // Len reports how many words are populated.
 func (b *Bank) Len() int { return len(b.words) }
@@ -63,6 +88,48 @@ func (b *Bank) Checksum() uint64 {
 		mix(b.words[a])
 	}
 	return h
+}
+
+// ChecksumRange digests only the words with lo <= addr < hi, in the same
+// FNV-over-sorted-pairs form as Checksum. It lets crash invariants compare
+// one reserved region (pool, checkpoint, hibernation) while ignoring areas
+// a legitimate Stop writes (BCB, DCBs).
+func (b *Bank) ChecksumRange(lo, hi uint64) uint64 {
+	addrs := make([]uint64, 0, len(b.words))
+	for a := range b.words {
+		if a >= lo && a < hi {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var h uint64 = 1469598103934665603
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	for _, a := range addrs {
+		mix(a)
+		mix(b.words[a])
+	}
+	return h
+}
+
+// Clone returns an independent copy of the bank's contents (no observer is
+// carried over). The crash-point recorder clones the final image and
+// rewinds it to reconstruct intermediate crash states.
+func (b *Bank) Clone() *Bank {
+	c := NewBank(b.name, b.persistent)
+	addrs := make([]uint64, 0, len(b.words))
+	for a := range b.words {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		c.words[a] = b.words[a]
+	}
+	return c
 }
 
 // CopyTo snapshots every word of b into dst at the given address offset —

@@ -1,0 +1,21 @@
+package kernel
+
+// Reserved OC-PMEM region bases. Process memory occupies the low addresses
+// (pid<<20 plus a saved-context area); everything above RegionPool is a
+// reserved system region. The crash-point adversary uses these bounds to
+// checksum application-persistence areas (pool, checkpoint, hibernation)
+// separately from the control blocks a legitimate Stop writes (BCB, DCBs).
+const (
+	// RegionPool is the pmdk pool area (metadata, undo log, object heap).
+	RegionPool uint64 = 0xA0_0000_0000
+	// RegionBCB is the bootloader control block (commit word, MEPC, wear
+	// metadata, per-core machine registers).
+	RegionBCB uint64 = bcbBase
+	// RegionCkpt is the application checkpoint pool (A-CheckPC).
+	RegionCkpt uint64 = 0xC0_0000_0000
+	// RegionDCB holds the device control blocks Auto-Stop writes.
+	RegionDCB uint64 = dcbBase
+	// RegionHib is the hibernation image area (SysPC); its DRAM payload
+	// extends past RegionHib + hibDRAMOff, so treat it as open-ended.
+	RegionHib uint64 = hibBase
+)

@@ -250,11 +250,14 @@ func (p *Platform) Recover(now sim.Time) (sng.GoReport, error) {
 }
 
 // ColdBoot rebuilds the kernel from scratch (the path taken when no EP-cut
-// commit exists). All previous execution state is lost.
+// commit exists). All previous execution state is lost — but OC-PMEM is
+// not: persistent memory survives the outage even without a commit, so
+// application-level recovery (journal replay, pool rollback, checkpoint
+// restore) still finds its data.
 func (p *Platform) ColdBoot() {
 	kc := p.cfg.Kernel
 	kc.Seed = p.cfg.Seed + 1
-	p.kern = kernel.New(kc)
+	p.kern = kernel.NewWithBank(kc, p.kern.OCPMEM)
 	p.sng = sng.New(p.kern)
 	p.sng.P = p.psm
 }
