@@ -1,10 +1,17 @@
 // Command lightpc-benchseed snapshots the benchmark suite into
 // BENCH_SEED.json: it times the quick experiment suite serially and through
-// the parallel runner (recording the wall-clock speedup alongside the host's
-// GOMAXPROCS, since the speedup is only meaningful relative to the core
-// count it ran on), then runs every `go test -bench` benchmark once with
-// -benchmem and captures each bench's ns/op, B/op, allocs/op, plus its
-// custom paper metrics. cmd/lightpc-perfdiff compares two snapshots.
+// the parallel runner (-j, independent experiments fanned out), times the
+// long-horizon conservative-parallel scenario serially and island-parallel
+// (-p, one worker per island), then runs every `go test -bench` benchmark
+// once with -benchmem and captures each bench's ns/op, B/op, allocs/op,
+// plus its custom paper metrics. cmd/lightpc-perfdiff compares two
+// snapshots.
+//
+// The process pins GOMAXPROCS to the real CPU count before timing anything
+// (an inherited GOMAXPROCS=1 would silently record a crippled snapshot)
+// and records num_cpu alongside the speedups: a -j or -p figure is only
+// meaningful relative to the cores it ran on, and on a single-CPU host
+// both are honestly ~1.0x.
 //
 // Usage:
 //
@@ -38,10 +45,18 @@ type benchLine struct {
 
 type seed struct {
 	GoVersion  string  `json:"go_version"`
+	NumCPU     int     `json:"num_cpu"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	SerialMs   float64 `json:"suite_serial_ms"`
 	ParallelMs float64 `json:"suite_parallel_ms"`
 	SpeedupX   float64 `json:"runner_speedup_x"`
+
+	// The -p axis: the long-horizon PDES scenario at one worker vs one
+	// worker per island (intra-experiment parallelism, where -j cannot
+	// help because it is a single experiment).
+	PDESSerialMs   float64 `json:"pdes_serial_ms"`
+	PDESParallelMs float64 `json:"pdes_parallel_ms"`
+	PDESSpeedupX   float64 `json:"pdes_speedup_x"`
 
 	Benches []benchLine `json:"benches"`
 }
@@ -56,6 +71,17 @@ func timeSuite(jobs int) (float64, string) {
 	start := time.Now()
 	out := experiments.Render(experiments.RunAll(o))
 	return float64(time.Since(start).Microseconds()) / 1000, out
+}
+
+// timePDES runs the long-horizon conservative-parallel scenario at the
+// given island-worker count and returns its wall-clock plus the rendered
+// table (checked for byte-equality across worker counts — a snapshot whose
+// parallel run computed different physics would be worthless).
+func timePDES(par int) (float64, string) {
+	o := experiments.Options{SampleOps: 60_000, Seed: 1, Par: par}
+	start := time.Now()
+	_, tbl := experiments.PDES(o)
+	return float64(time.Since(start).Microseconds()) / 1000, tbl.String()
 }
 
 // parseBench extracts "Benchmark..." result lines: name, ns/op, and any
@@ -102,6 +128,10 @@ func main() {
 	out := flag.String("out", "BENCH_SEED.json", "output path")
 	flag.Parse()
 
+	// Pin to the real core count: the snapshot must record what the
+	// hardware can do, not what an inherited GOMAXPROCS happened to allow.
+	runtime.GOMAXPROCS(runtime.NumCPU())
+
 	serialMs, serialOut := timeSuite(1)
 	parallelMs, parallelOut := timeSuite(0) // 0 = GOMAXPROCS
 	if serialOut != parallelOut {
@@ -109,12 +139,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	pdesSerialMs, pdesSerialOut := timePDES(1)
+	pdesParMs, pdesParOut := timePDES(0) // 0 = GOMAXPROCS, clamped to islands
+	if pdesSerialOut != pdesParOut {
+		fmt.Fprintln(os.Stderr, "lightpc-benchseed: -p 1 and -p N PDES outputs diverged")
+		os.Exit(1)
+	}
+
 	s := seed{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		SerialMs:   serialMs,
-		ParallelMs: parallelMs,
-		SpeedupX:   serialMs / parallelMs,
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		SerialMs:       serialMs,
+		ParallelMs:     parallelMs,
+		SpeedupX:       serialMs / parallelMs,
+		PDESSerialMs:   pdesSerialMs,
+		PDESParallelMs: pdesParMs,
+		PDESSpeedupX:   pdesSerialMs / pdesParMs,
 	}
 
 	// Root package: one iteration per figure benchmark (they run whole
@@ -125,6 +166,10 @@ func main() {
 	// internal/linetab: the paged device-metadata tables, whose steady-state
 	// Get/Set/Flight paths are also pinned at 0 allocs/op.
 	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchtime=1x", "-benchmem", "-count=1", ".", "./internal/sim", "./internal/obs", "./internal/linetab")
+	// The bench subprocess must also see the real core count, both so the
+	// parallel benches (which skip below 2) get their chance and so the
+	// "-N" name suffix matches what parseBench strips.
+	cmd.Env = append(os.Environ(), fmt.Sprintf("GOMAXPROCS=%d", runtime.NumCPU()))
 	bout, err := cmd.CombinedOutput()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lightpc-benchseed: go test -bench: %v\n%s", err, bout)
@@ -146,6 +191,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lightpc-benchseed: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: %d benches, suite %.0fms serial / %.0fms at -j %d (%.2fx)\n",
-		*out, len(s.Benches), s.SerialMs, s.ParallelMs, s.GOMAXPROCS, s.SpeedupX)
+	fmt.Printf("wrote %s: %d benches on %d CPU(s), suite %.0fms serial / %.0fms at -j %d (%.2fx), pdes %.0fms serial / %.0fms at -p %d (%.2fx)\n",
+		*out, len(s.Benches), s.NumCPU, s.SerialMs, s.ParallelMs, s.GOMAXPROCS, s.SpeedupX,
+		s.PDESSerialMs, s.PDESParallelMs, s.GOMAXPROCS, s.PDESSpeedupX)
+	if s.NumCPU < 2 {
+		fmt.Println("note: single-CPU host — the -j and -p speedups above are nominal, not evidence of scaling")
+	}
 }

@@ -1,0 +1,18 @@
+package cache
+
+import "repro/internal/sim"
+
+// IslandSpec places the private L1 slice on its core's island. A cache
+// cannot produce a cross-island effect faster than its own hit pipeline —
+// even a miss spends HitLatency in tag lookup before the fill request
+// leaves — so HitLatency is the physical lower bound it declares.
+func (c Config) IslandSpec() sim.IslandSpec {
+	lat := c.HitLatency
+	if lat <= 0 {
+		lat = DefaultConfig().HitLatency
+	}
+	return sim.IslandSpec{
+		Class:           sim.IslandCore,
+		MinCrossLatency: lat,
+	}
+}

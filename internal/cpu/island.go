@@ -1,0 +1,19 @@
+package cpu
+
+import "repro/internal/sim"
+
+// IslandSpec places a core in the parallel-simulation partition: each core
+// (with its private L1 slice) is its own island. The fastest a core can
+// influence anything outside itself is one clock cycle — every external
+// effect (a store leaving the store buffer, a miss entering the NoC) takes
+// at least that long — so one cycle is the core's cross-island lower bound.
+func (c Config) IslandSpec() sim.IslandSpec {
+	freq := c.FreqHz
+	if freq <= 0 {
+		freq = DefaultConfig().FreqHz
+	}
+	return sim.IslandSpec{
+		Class:           sim.IslandCore,
+		MinCrossLatency: sim.Cycles(1, freq),
+	}
+}

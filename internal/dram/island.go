@@ -1,0 +1,19 @@
+package dram
+
+import "repro/internal/sim"
+
+// IslandSpec places a DRAM rank on a memory island. The fastest response a
+// rank can produce is an open-row CAS-only access (RowHit); every reply it
+// sends back across the fabric takes at least that long. The refresh
+// machinery only lengthens epochs it never shortens them: tREFI (7.8 us)
+// is ~300x the CAS time, so refresh boundaries never bound the lookahead.
+func (c Config) IslandSpec() sim.IslandSpec {
+	lat := c.RowHit
+	if lat <= 0 {
+		lat = DefaultConfig().RowHit
+	}
+	return sim.IslandSpec{
+		Class:           sim.IslandMemory,
+		MinCrossLatency: lat,
+	}
+}

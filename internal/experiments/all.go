@@ -111,6 +111,10 @@ func All() []Named {
 			_, t := IntroMotivation(o)
 			return t
 		})},
+		{"pdes", "conservative parallel DES (island partition, -p knob)", one(func(o Options) *report.Table {
+			_, t := PDES(o)
+			return t
+		})},
 	}
 }
 

@@ -26,6 +26,12 @@ type Options struct {
 	// 0 means GOMAXPROCS; 1 forces serial execution. Output is
 	// byte-for-byte identical at every setting (see internal/runner).
 	Jobs int
+	// Par caps the worker count of the island-partitioned parallel
+	// engines (the -p knob, orthogonal to Jobs: Jobs fans out whole
+	// platform cells, Par parallelizes islands within one simulation).
+	// 0 means GOMAXPROCS; 1 forces the inline serial path. Output is
+	// byte-for-byte identical at every setting (see internal/sim).
+	Par int
 	// OnCellStart and OnCellDone observe runner cells as workers pick
 	// them up and finish them (the CLI's -progress reporting). They may
 	// be called concurrently.

@@ -64,3 +64,26 @@ func TestProgressHooksObserveCells(t *testing.T) {
 		t.Errorf("fig15 quick grid ran %d cells, want 12", starts)
 	}
 }
+
+// TestPDESParEquivalence is the island engine's contract surfaced at the
+// experiment level: the pdes tables at -p 1 are byte-for-byte identical
+// to -p 2/4/8 and -p GOMAXPROCS — island scheduling can never leak into
+// the output.
+func TestPDESParEquivalence(t *testing.T) {
+	render := func(par int) string {
+		o := QuickOptions()
+		o.Par = par
+		_, tab := PDES(o)
+		return tab.String()
+	}
+	want := render(1)
+	if want == "" {
+		t.Fatal("pdes rendered nothing at -p 1")
+	}
+	for _, p := range []int{2, 4, 8, runtime.GOMAXPROCS(0)} {
+		if got := render(p); got != want {
+			t.Fatalf("-p %d output diverged from -p 1; first diff near:\n%s", p,
+				firstDiff(got, want))
+		}
+	}
+}

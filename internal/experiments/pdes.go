@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/noc"
+	"repro/internal/pram"
+	"repro/internal/psm"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// PDES is the island-partitioned conservative engine driving a
+// long-horizon multi-bank scenario: every core island owns a PRAM bank
+// and a synthetic reference stream; a small fraction of its stores are
+// posted writes toward other islands' banks (wear-leveler migrations,
+// shared-log appends), batched per destination and sealed once per flush
+// window. The flush window is DRAM-refresh-scale (tREFI), which makes it
+// the scenario's lookahead: no posted write can land remotely sooner than
+// one window after it was sealed, so islands run whole windows without
+// synchronizing. Every number below is a pure function of (seed, ops) —
+// the -p worker count cannot change a digit.
+
+// pdesIslands is the partition width (the paper's octa-core SnG domain).
+const pdesIslands = 8
+
+// pdesOpsPerQuantum is the batch of references one scheduling quantum
+// processes; the quantum event is the island's hot loop.
+const pdesOpsPerQuantum = 64
+
+// pdesQuantum is the scheduling quantum between reference batches.
+var pdesQuantum = sim.FromNanoseconds(200)
+
+// pdesRows is the per-bank row space the streams draw from.
+const pdesRows = 1 << 18
+
+// pdesNode is the state one core island owns: its PRAM bank, its
+// reference stream, and the posted-write buffers awaiting the next window
+// seal. Nothing outside the island may touch it except through the
+// barrier-exchange API.
+//
+//lightpc:island
+type pdesNode struct {
+	id     int
+	il     *sim.Island
+	rng    *sim.RNG
+	bank   *pram.Device
+	cursor sim.Time // bank command-port cursor
+
+	budget      uint64
+	window      sim.Duration
+	hop         sim.Duration
+	windowsLeft int
+
+	// pending[d] holds posted writes toward island d until the seal.
+	pending [][]uint64
+
+	reads, writes     uint64
+	conflicts         uint64
+	postedOut         uint64
+	postedIn          uint64
+	quantums, windows uint64
+}
+
+// quantumStep processes one batch of references against the local bank.
+//
+//lightpc:islandlocal
+func (nd *pdesNode) quantumStep(now sim.Time) {
+	nd.quantums++
+	ops := uint64(pdesOpsPerQuantum)
+	if ops > nd.budget {
+		ops = nd.budget
+	}
+	n := len(nd.pending)
+	for i := uint64(0); i < ops; i++ {
+		row := nd.rng.Uint64n(pdesRows)
+		start := sim.Max(nd.cursor, now)
+		switch draw := nd.rng.Intn(100); {
+		case draw < 65: // local read
+			done, conflicted, _ := nd.bank.Read(start, row)
+			if conflicted {
+				nd.conflicts++
+			}
+			nd.cursor = done
+			nd.reads++
+		case draw < 90 || n == 1: // local write
+			_, complete := nd.bank.Write(start, row)
+			nd.cursor = complete
+			nd.writes++
+		default: // posted write toward another island, sealed at the window
+			dst := (nd.id + 1 + nd.rng.Intn(n-1)) % n
+			nd.pending[dst] = append(nd.pending[dst], row)
+			nd.postedOut++
+		}
+	}
+	nd.budget -= ops
+	if nd.budget > 0 {
+		nd.il.Engine().Schedule(pdesQuantum, "pdes-quantum", nd.quantumStep)
+	}
+}
+
+// windowSeal flushes the posted-write buffers: each row travels one flush
+// window plus a NoC hop before it lands on the destination bank — the
+// delay that makes the window a legal lookahead.
+//
+//lightpc:islandlocal
+func (nd *pdesNode) windowSeal(now sim.Time) {
+	nd.windows++
+	deliver := now.Add(nd.window + nd.hop)
+	for dst, rows := range nd.pending {
+		if len(rows) == 0 {
+			continue
+		}
+		for _, row := range rows {
+			nd.il.SendWord(dst, deliver, row)
+		}
+		nd.pending[dst] = rows[:0]
+	}
+	nd.windowsLeft--
+	if nd.windowsLeft > 0 {
+		nd.il.Engine().Schedule(nd.window, "pdes-window", nd.windowSeal)
+	}
+}
+
+// onRemote applies one posted write arriving from another island.
+//
+//lightpc:islandlocal
+func (nd *pdesNode) onRemote(now sim.Time, row uint64) {
+	_, complete := nd.bank.Write(sim.Max(nd.cursor, now), row)
+	nd.cursor = complete
+	nd.postedIn++
+}
+
+// PDESRow is one island's deterministic result.
+type PDESRow struct {
+	Island    int
+	Ops       uint64
+	Reads     uint64
+	Writes    uint64
+	PostedOut uint64
+	PostedIn  uint64
+	Rows      int
+	Clock     sim.Time
+}
+
+// pdesLookahead derives the scenario's epoch lookahead and its physical
+// floor from the device-declared island specs.
+func pdesLookahead() (window, floor sim.Duration) {
+	floor = sim.MinLookahead(
+		cpu.DefaultConfig().IslandSpec(),
+		cache.DefaultConfig().IslandSpec(),
+		pram.DefaultConfig().IslandSpec(),
+		psm.DefaultConfig().IslandSpec(),
+		noc.DefaultConfig().IslandSpec(),
+	)
+	window = dram.DefaultConfig().RefreshInterval
+	return window, floor
+}
+
+// PDESEngine builds the scenario and returns the wired engine plus its
+// nodes; callers Run() it themselves (the bench harness reuses this).
+// Setup is barrier-phase code: it touches every island before Run starts.
+//
+//lightpc:barrier
+func PDESEngine(o Options) (*sim.ParallelEngine, []*pdesNode) {
+	islands := pdesIslands
+	if o.Quick {
+		islands = 4
+	}
+	window, floor := pdesLookahead()
+	if window < floor {
+		window = floor // a shorter window is still a legal lookahead
+	}
+	p := sim.NewParallel(sim.ParallelConfig{
+		Islands:   islands,
+		Lookahead: window,
+		Workers:   o.Par,
+	})
+	hop := noc.DefaultConfig().Lookahead()
+
+	quanta := (o.SampleOps + pdesOpsPerQuantum - 1) / pdesOpsPerQuantum
+	horizon := pdesQuantum * sim.Duration(quanta)
+	windows := int(horizon/window) + 2
+
+	nodes := make([]*pdesNode, islands)
+	for i := range nodes {
+		bcfg := pram.DefaultConfig()
+		bcfg.Rows = pdesRows
+		bcfg.TrackWear = true
+		bcfg.Seed = sim.SubSeed(o.Seed, fmt.Sprintf("pdes/bank/%d", i))
+		nd := &pdesNode{
+			id:          i,
+			il:          p.Island(i),
+			rng:         sim.NewRNG(sim.SubSeed(o.Seed, fmt.Sprintf("pdes/stream/%d", i))),
+			bank:        pram.NewDevice(bcfg),
+			budget:      o.SampleOps,
+			window:      window,
+			hop:         hop,
+			windowsLeft: windows,
+			pending:     make([][]uint64, islands),
+		}
+		nodes[i] = nd
+		nd.il.SetHandler(nd.onRemote)
+		nd.il.Engine().Schedule(sim.Duration(i)*sim.Nanosecond, "pdes-boot", nd.quantumStep)
+		nd.il.Engine().Schedule(window, "pdes-window", nd.windowSeal)
+	}
+	return p, nodes
+}
+
+// PDES runs the conservative-parallel scenario and reports per-island
+// rows plus the engine's epoch/message accounting. Reading every node
+// after Run returns is barrier-phase code: no island is running.
+//
+//lightpc:barrier
+func PDES(o Options) ([]PDESRow, *report.Table) {
+	p, nodes := PDESEngine(o)
+	p.Run()
+
+	rows := make([]PDESRow, len(nodes))
+	var tot PDESRow
+	for i, nd := range nodes {
+		rows[i] = PDESRow{
+			Island:    i,
+			Ops:       nd.reads + nd.writes + nd.postedOut,
+			Reads:     nd.reads,
+			Writes:    nd.writes,
+			PostedOut: nd.postedOut,
+			PostedIn:  nd.postedIn,
+			Rows:      nd.bank.TouchedRows(),
+			Clock:     nd.il.Now(),
+		}
+		tot.Ops += rows[i].Ops
+		tot.Reads += rows[i].Reads
+		tot.Writes += rows[i].Writes
+		tot.PostedOut += rows[i].PostedOut
+		tot.PostedIn += rows[i].PostedIn
+		tot.Rows += rows[i].Rows
+	}
+
+	window, floor := pdesLookahead()
+	st := p.Stats()
+	t := report.New("Extension: conservative parallel DES (island partition, static lookahead)",
+		"island", "ops", "reads", "writes", "posted out", "posted in", "rows touched", "local clock")
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("%d", r.Island), fmt.Sprintf("%d", r.Ops),
+			fmt.Sprintf("%d", r.Reads), fmt.Sprintf("%d", r.Writes),
+			fmt.Sprintf("%d", r.PostedOut), fmt.Sprintf("%d", r.PostedIn),
+			fmt.Sprintf("%d", r.Rows), fmt.Sprintf("%v", r.Clock))
+	}
+	t.Add("total", fmt.Sprintf("%d", tot.Ops), fmt.Sprintf("%d", tot.Reads),
+		fmt.Sprintf("%d", tot.Writes), fmt.Sprintf("%d", tot.PostedOut),
+		fmt.Sprintf("%d", tot.PostedIn), fmt.Sprintf("%d", tot.Rows), "-")
+	t.Note("lookahead = flush window %v (floor: device min cross-latency %v); %d islands, %d epochs, %d cross-island messages — identical at every -p",
+		window, floor, st.Islands, st.Epochs, st.Messages)
+	return rows, t
+}

@@ -1,0 +1,226 @@
+// Package islandsafe confines island-owned simulation state to its island.
+//
+// The conservative parallel engine (internal/sim) is only correct if an
+// island's state is touched exclusively by that island's event callbacks;
+// the single coupling channel is the barrier-exchange API
+// (Island.Send/SendAt/SendWord), which moves messages between epochs when
+// no island runs. The type system cannot see that partition, so this
+// analyzer enforces it from three annotations:
+//
+//	//lightpc:island       on a type: instances are island-owned state
+//	//lightpc:islandlocal  on a function: runs inside one island's callbacks
+//	//lightpc:barrier      on a function: barrier-phase code (setup or
+//	                       between-epoch coordination; no island running)
+//
+// Rules:
+//
+//  1. A function that touches island-owned state (field access or method
+//     call on an annotated type) must be island-local, barrier-phase, or a
+//     method on the island-owned type itself (implicitly island-local).
+//     Reachability from more than one island otherwise goes unnoticed.
+//  2. Island-local code (including func literals nested in it) must not
+//     select island-owned state by index: nodes[i] names an arbitrary —
+//     i.e. potentially another — island, and cross-island effects must go
+//     through the barrier-exchange API.
+//  3. Island-local code must not call barrier-phase functions: the barrier
+//     runs only between epochs, and entering it from inside an epoch would
+//     touch foreign islands mid-flight.
+//
+// Annotations are package-scoped: the analyzer guards the packages that
+// declare island-owned types (the sim core itself is guarded by its race
+// tests and the lockstep differential). A deliberate exception can be
+// accepted with
+//
+//	//lint:allow islandsafe <reason>
+package islandsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the islandsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "islandsafe",
+	Doc:  "island-owned state must stay island-confined; cross-island access only through the barrier-exchange API",
+	Run:  run,
+}
+
+// hasMarker reports whether the comment group carries //lightpc:<name>.
+func hasMarker(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, "lightpc:") {
+			continue
+		}
+		marker := strings.TrimPrefix(text, "lightpc:")
+		if marker == name || strings.HasPrefix(marker, name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// context is the confinement class a body is checked under.
+type context int
+
+const (
+	ctxNone context = iota // unannotated: may not touch island state at all
+	ctxIslandLocal
+	ctxBarrier
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Collect the package's island-owned types.
+	owned := make(map[*types.TypeName]bool)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(ts.Doc, "island") || (len(gd.Specs) == 1 && hasMarker(gd.Doc, "island")) {
+					if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+						owned[tn] = true
+					}
+				}
+			}
+		}
+	}
+	if len(owned) == 0 {
+		return nil, nil // package declares no island state
+	}
+
+	// Classify every function and index the barrier set for rule 3.
+	barrier := make(map[*types.Func]bool)
+	type checked struct {
+		fd  *ast.FuncDecl
+		ctx context
+	}
+	var fns []checked
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			ctx := ctxNone
+			switch {
+			case analysis.HasAnnotation(fd, "islandlocal") || methodOnOwned(pass, fd, owned):
+				ctx = ctxIslandLocal
+			case analysis.HasAnnotation(fd, "barrier"):
+				ctx = ctxBarrier
+			}
+			if ctx == ctxBarrier {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					barrier[fn] = true
+				}
+			}
+			if fd.Body != nil {
+				fns = append(fns, checked{fd, ctx})
+			}
+		}
+	}
+
+	for _, c := range fns {
+		checkBody(pass, c.fd, c.ctx, owned, barrier)
+	}
+	return nil, nil
+}
+
+// methodOnOwned reports whether fd is a method whose receiver base type is
+// island-owned — such methods are the island's own behaviour.
+func methodOnOwned(pass *analysis.Pass, fd *ast.FuncDecl, owned map[*types.TypeName]bool) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	return ownedType(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type), owned)
+}
+
+// ownedType reports whether t (through pointers and aliases) names an
+// island-owned type.
+func ownedType(t types.Type, owned map[*types.TypeName]bool) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	return owned[n.Obj()]
+}
+
+// checkBody walks one function (and its nested literals, which inherit
+// the context) enforcing the three rules.
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl, ctx context, owned map[*types.TypeName]bool, barrier map[*types.Func]bool) {
+	name := fd.Name.Name
+	if fd.Recv != nil {
+		name = recvName(fd) + "." + name
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if ctx == ctxNone && ownedType(pass.TypesInfo.TypeOf(e.X), owned) {
+				pass.Reportf(e.Pos(), "%s accesses island-owned state (%s) but is neither //lightpc:islandlocal nor //lightpc:barrier: state reachable from more than one island must go through the barrier-exchange API", name, types.ExprString(e))
+			}
+		case *ast.IndexExpr:
+			if ctx == ctxIslandLocal && ownedType(pass.TypesInfo.TypeOf(e), owned) {
+				pass.Reportf(e.Pos(), "%s selects island-owned state by index (%s) inside island-local code: another island's state is only reachable through the barrier-exchange API (Send/SendAt/SendWord)", name, types.ExprString(e))
+			}
+		case *ast.CallExpr:
+			if ctx != ctxIslandLocal {
+				return true
+			}
+			if fn := calleeFunc(pass, e); fn != nil && barrier[fn] {
+				pass.Reportf(e.Pos(), "%s calls barrier-phase function %s from island-local code: the barrier runs only between epochs", name, fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// recvName renders the receiver's base type name.
+func recvName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}
+
+// calleeFunc resolves a call's static callee, if it is a declared function.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch callee := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[callee].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[callee.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package islandsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/islandsafe"
+	"repro/internal/lint/linttest"
+)
+
+func TestIslandsafe(t *testing.T) {
+	linttest.Run(t, "testdata", islandsafe.Analyzer, "internal/islefix")
+}

@@ -1,0 +1,94 @@
+// Package islefix is the islandsafe fixture: one island-owned type plus
+// the legal and illegal ways of reaching it.
+package islefix
+
+// node is one island's state.
+//
+//lightpc:island
+type node struct {
+	id      int
+	counter uint64
+	peers   []*node
+}
+
+// plain is ordinary shared data: not island-owned, never flagged.
+type plain struct {
+	n int
+}
+
+// bump is a method on the island-owned type: implicitly island-local.
+// Touching its own fields and indexing plain slices is fine.
+func (nd *node) bump(vals []uint64) {
+	nd.counter += vals[nd.id%len(vals)]
+}
+
+// stepLocal is annotated island-local: its own node is fair game.
+//
+//lightpc:islandlocal
+func stepLocal(nd *node) {
+	nd.counter++
+	nd.bump(nil)
+}
+
+// crossRead selects a peer island by index inside island-local code: the
+// cross-island read the barrier-exchange API exists to replace.
+//
+//lightpc:islandlocal
+func crossRead(nd *node) uint64 {
+	other := nd.peers[(nd.id+1)%len(nd.peers)] // want `selects island-owned state by index`
+	return other.counter
+}
+
+// crossReadLit does the same from a nested func literal, which inherits
+// the island-local context.
+//
+//lightpc:islandlocal
+func crossReadLit(nd *node) func() uint64 {
+	return func() uint64 {
+		return nd.peers[0].counter // want `selects island-owned state by index`
+	}
+}
+
+// setup is barrier-phase code: it may wire every island before the run.
+//
+//lightpc:barrier
+func setup(n int) []*node {
+	nodes := make([]*node, n)
+	for i := range nodes {
+		nodes[i] = &node{id: i}
+	}
+	for _, nd := range nodes {
+		nd.peers = nodes
+	}
+	return nodes
+}
+
+// drain is also barrier-phase: reading every island between epochs.
+//
+//lightpc:barrier
+func drain(nodes []*node) uint64 {
+	var total uint64
+	for _, nd := range nodes {
+		total += nd.counter
+	}
+	return total
+}
+
+// unmarked touches island-owned state without any annotation: reachable
+// from anywhere, synchronized with nothing.
+func unmarked(nd *node) uint64 {
+	return nd.counter // want `neither //lightpc:islandlocal nor //lightpc:barrier`
+}
+
+// callsBarrier enters barrier-phase code from inside an epoch.
+//
+//lightpc:islandlocal
+func callsBarrier(nd *node) {
+	drain(nd.peers) // want `calls barrier-phase function drain`
+}
+
+// usesPlain indexes and touches non-island data without annotations: the
+// analyzer must stay quiet.
+func usesPlain(ps []*plain) int {
+	return ps[0].n
+}

@@ -1,0 +1,43 @@
+package memctrl
+
+import "repro/internal/sim"
+
+// Island affinity for the host-side controllers: each adapter sits on the
+// memory island of the substrate it fronts, and its declared bound is the
+// substrate's bound plus any pipeline the adapter itself adds in front —
+// a request cannot come back faster than the sum of the two.
+
+// IslandSpec places the DRAM controller (and its channel-interleaved
+// DIMMs) on a memory island.
+func (c *DRAMController) IslandSpec() sim.IslandSpec {
+	spec := c.dimms[0].Config().IslandSpec()
+	spec.MinCrossLatency = spec.MinCrossLatency + c.ctrlLat
+	return spec
+}
+
+// IslandSpec places the OC-PMEM datapath on the PSM's memory island.
+func (b *PSMBackend) IslandSpec() sim.IslandSpec {
+	return b.PSM.Config().IslandSpec()
+}
+
+// IslandSpec places app-direct mode on the PMEM DIMM's memory island; the
+// DAX mapping adds its constant translation cost in front of the LSQ.
+func (b *PMEMBackend) IslandSpec() sim.IslandSpec {
+	spec := b.DIMM.Config().IslandSpec()
+	spec.MinCrossLatency = spec.MinCrossLatency + b.DAXLatency
+	return spec
+}
+
+// IslandSpec places memory mode on one memory island holding both sides of
+// the near-memory cache: the DRAM cache and the PMEM DIMM behind it are
+// coupled by snarf on every miss, far tighter than any safe lookahead, so
+// they must not be split. The bound is the faster of the two substrates
+// (a near-cache hit is serviced at DRAM speed).
+func (n *NMEM) IslandSpec() sim.IslandSpec {
+	d := n.dram.IslandSpec()
+	p := n.pmem.Config().IslandSpec()
+	return sim.IslandSpec{
+		Class:           sim.IslandMemory,
+		MinCrossLatency: sim.MinLookahead(d, p),
+	}
+}

@@ -1,0 +1,30 @@
+package noc
+
+import "repro/internal/sim"
+
+// Lookahead is the NoC's contribution to the static epoch lookahead: one
+// hop — arbitration grant plus one 64 B beat. Every cross-island event in
+// the platform crosses the fabric at least once, so no effect can leave
+// its island faster than this; it is the hard floor of any lookahead the
+// partition derives.
+func (c Config) Lookahead() sim.Duration {
+	lat := c.ArbitrationLatency + c.TransferTime
+	if lat <= 0 {
+		d := DefaultConfig()
+		lat = d.ArbitrationLatency + d.TransferTime
+	}
+	return lat
+}
+
+// Lookahead reports the live network's hop-latency floor.
+func (n *Network) Lookahead() sim.Duration { return n.cfg.Lookahead() }
+
+// IslandSpec declares the fabric's place in the partition. The NoC is not
+// an island itself — it is the medium every cross-island message crosses —
+// so its spec contributes the hop-latency floor to MinLookahead.
+func (c Config) IslandSpec() sim.IslandSpec {
+	return sim.IslandSpec{
+		Class:           sim.IslandFabric,
+		MinCrossLatency: c.Lookahead(),
+	}
+}

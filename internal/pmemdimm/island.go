@@ -1,0 +1,18 @@
+package pmemdimm
+
+import "repro/internal/sim"
+
+// IslandSpec places a PMEM DIMM on a memory island. Every request funnels
+// through the on-DIMM load-store queue before the controller can even look
+// at it, so LSQLatency is the fastest the DIMM can influence another
+// island (SRAM lookup, write-combine and the media itself only add to it).
+func (c Config) IslandSpec() sim.IslandSpec {
+	lat := c.LSQLatency
+	if lat <= 0 {
+		lat = DefaultConfig().LSQLatency
+	}
+	return sim.IslandSpec{
+		Class:           sim.IslandMemory,
+		MinCrossLatency: lat,
+	}
+}

@@ -1,0 +1,18 @@
+package pram
+
+import "repro/internal/sim"
+
+// IslandSpec places a PRAM bank group on a memory island. Sensing one 32 B
+// granule takes ReadLatency (Table I: 61 ns at the device) and programming
+// takes 4.1x longer with the thermal cooling window on top, so ReadLatency
+// is the fastest any PRAM response can reach another island.
+func (c DeviceConfig) IslandSpec() sim.IslandSpec {
+	lat := c.ReadLatency
+	if lat <= 0 {
+		lat = DefaultConfig().ReadLatency
+	}
+	return sim.IslandSpec{
+		Class:           sim.IslandMemory,
+		MinCrossLatency: lat,
+	}
+}

@@ -1,0 +1,19 @@
+package psm
+
+import "repro/internal/sim"
+
+// IslandSpec places the PSM (and the Bare-NVDIMM banks behind it) on a
+// memory island. Every port transaction pays the AXI crossbar + PSM
+// pipeline (PortLatency) before any state is read or written, so that is
+// the fastest a PSM-side effect can reach another island; row-buffer hits,
+// RS decode and PRAM sensing all come after it.
+func (c Config) IslandSpec() sim.IslandSpec {
+	lat := c.PortLatency
+	if lat <= 0 {
+		lat = DefaultConfig().PortLatency
+	}
+	return sim.IslandSpec{
+		Class:           sim.IslandMemory,
+		MinCrossLatency: lat,
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+// barrier.go is the only concurrent code in the simulation core: a
+// persistent worker pool that runs islands through epoch barriers. The
+// protocol is deliberately minimal — workers own a static stripe of the
+// island list, the coordinator releases them once per epoch and waits for
+// every stripe to finish — because correctness does not depend on it: an
+// island's epoch reads and writes only island-local state, so ANY
+// assignment of islands to workers produces byte-identical simulations.
+// The channel handshakes provide the happens-before edges that make the
+// coordinator's exchange phase (parallel.go) race-free: every outbox
+// append happens before the worker's done-send, which happens before the
+// coordinator's drain; every delivery happens before the next start-send.
+
+// epochRunner executes epochs across a fixed worker pool. Workers are
+// spawned by newEpochRunner and parked on their start channels between
+// epochs; stop releases them.
+type epochRunner struct {
+	islands []*Island
+	workers int
+	bound   Time // epoch bound; written by the coordinator before release
+
+	start []chan struct{} // per-worker release, closed by stop
+	done  chan struct{}   // one token per worker per epoch
+}
+
+// newEpochRunner spawns the pool. workers must be >= 2 (a single worker
+// runs inline in the coordinator, with no goroutines at all — that is the
+// -p 1 reference path).
+func newEpochRunner(islands []*Island, workers int) *epochRunner {
+	r := &epochRunner{
+		islands: islands,
+		workers: workers,
+		start:   make([]chan struct{}, workers),
+		done:    make(chan struct{}, workers),
+	}
+	for w := 0; w < workers; w++ {
+		r.start[w] = make(chan struct{})
+		go r.loop(w)
+	}
+	return r
+}
+
+// loop is one worker: wait for release, run the stripe, report done. The
+// stripe is static (islands w, w+W, w+2W, ...) so the wall-clock balance
+// is predictable, but the simulation result cannot depend on it.
+func (r *epochRunner) loop(w int) {
+	for range r.start[w] {
+		for i := w; i < len(r.islands); i += r.workers {
+			r.islands[i].runEpoch(r.bound)
+		}
+		r.done <- struct{}{}
+	}
+}
+
+// runEpoch releases every worker for one epoch ending at bound and blocks
+// until all stripes finish. Caller (the coordinator) must not touch any
+// island state between release and return.
+func (r *epochRunner) runEpoch(bound Time) {
+	r.bound = bound
+	for _, ch := range r.start {
+		ch <- struct{}{}
+	}
+	for range r.start {
+		<-r.done
+	}
+}
+
+// stop parks the pool permanently (workers return).
+func (r *epochRunner) stop() {
+	for _, ch := range r.start {
+		close(ch)
+	}
+}

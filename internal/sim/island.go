@@ -1,0 +1,234 @@
+package sim
+
+// island.go is the per-island half of the conservative parallel engine
+// (see parallel.go for the epoch/barrier protocol). An Island owns one
+// serial Engine — so within the island, dispatch order is the exact serial
+// (time, seq) order every golden pins — plus the outboxes through which
+// cross-island events leave. Islands never read each other's state: the
+// only coupling is Send/SendAt/SendWord, and those messages are moved by
+// the coordinator between epochs, when no island is running.
+
+import "fmt"
+
+// IslandClass names the platform partition a device belongs to. The
+// partition follows the physical structure of the prototype: each core and
+// its private cache slice is an island, each memory bank group (DRAM rank,
+// Bare-NVDIMM PRAM bank, PMEM DIMM) is an island, and the NoC is the
+// coupling fabric whose hop latency floors the lookahead.
+type IslandClass uint8
+
+// Island classes.
+const (
+	// IslandCore is a per-core island: one CPU core plus its private L1
+	// slice and store buffer.
+	IslandCore IslandClass = iota
+	// IslandMemory is a memory-side island: a DRAM rank, PRAM bank group,
+	// or PMEM DIMM behind one PSM channel.
+	IslandMemory
+	// IslandFabric is the coupling fabric (NoC/crossbar): not an island
+	// itself but the medium every cross-island event crosses, so its hop
+	// latency is the hard floor of any lookahead.
+	IslandFabric
+)
+
+// String names the class.
+func (c IslandClass) String() string {
+	switch c {
+	case IslandCore:
+		return "core"
+	case IslandMemory:
+		return "memory"
+	case IslandFabric:
+		return "fabric"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// IslandSpec is a device package's declaration of where it lives in the
+// island partition and how quickly its state can possibly influence
+// another island. MinCrossLatency is a *physical lower bound* taken from
+// the device's own configured timing (NoC arbitration+transfer, DRAM CAS,
+// PRAM sensing, PSM port pipeline): no event the device emits can take
+// effect elsewhere sooner, so the conservative epoch lookahead may be at
+// least the minimum declared bound without ever reordering an event.
+type IslandSpec struct {
+	Class           IslandClass
+	MinCrossLatency Duration
+}
+
+// MinLookahead folds device-declared bounds into the static lookahead
+// floor: the smallest positive MinCrossLatency. Zero-valued declarations
+// are ignored (a device that declares no bound cannot raise the floor);
+// the result is 0 only when nothing declared a bound, which callers must
+// treat as "no safe lookahead".
+func MinLookahead(specs ...IslandSpec) Duration {
+	var min Duration
+	for _, s := range specs {
+		if s.MinCrossLatency <= 0 {
+			continue
+		}
+		if min == 0 || s.MinCrossLatency < min {
+			min = s.MinCrossLatency
+		}
+	}
+	return min
+}
+
+// xmsg is one cross-island message parked in a sender's outbox until the
+// coordinator moves it at the epoch barrier. Either fn (a closure event)
+// or the word form (arg delivered to the destination's handler) is set.
+type xmsg struct {
+	at    Time
+	arg   uint64
+	fn    func(now Time) // nil for word messages
+	label string
+}
+
+// Island is one partition of a ParallelEngine: a serial Engine plus
+// deterministic outboxes toward every other island. All methods except
+// the coordinator-only ones are island-confined: they may be called only
+// from event callbacks running on this island (or before Run starts).
+type Island struct {
+	idx int
+	eng *Engine
+	p   *ParallelEngine
+
+	// handler receives SendWord messages from other islands. One closure,
+	// installed at setup, so steady-state word exchange allocates nothing.
+	handler func(now Time, word uint64)
+
+	// out[d] collects the messages this island sent toward island d during
+	// the current epoch. Only this island appends (during its epoch) and
+	// only the coordinator drains (between epochs), so no lock is needed.
+	out [][]xmsg
+
+	// Deterministic counters (sim-domain, identical at every -p).
+	sent       uint64
+	delivered  uint64
+	epochs     uint64
+	idleEpochs uint64
+	stall      Duration // sim-time spent drained before each epoch bound
+	lastBound  Time     // previous epoch's bound, for the stall accounting
+}
+
+// Index reports the island's position in the partition.
+func (il *Island) Index() int { return il.idx }
+
+// Engine exposes the island-local serial engine for scheduling local
+// events. Island-confined: only this island's callbacks may use it.
+func (il *Island) Engine() *Engine { return il.eng }
+
+// Now reports the island-local clock.
+func (il *Island) Now() Time { return il.eng.Now() }
+
+// SetHandler installs the destination handler for SendWord messages.
+// Install it before Run; the one closure is reused for every delivery.
+func (il *Island) SetHandler(fn func(now Time, word uint64)) { il.handler = fn }
+
+// checkSend validates a cross-island timestamp against the lookahead
+// contract: a message from this island may not take effect anywhere else
+// sooner than now+lookahead — that bound is what lets every island run an
+// entire epoch without looking at its neighbours.
+//
+//lightpc:zeroalloc
+func (il *Island) checkSend(to int, at Time, label string) {
+	if to < 0 || to >= len(il.out) {
+		panic(fmt.Sprintf("sim: island %d sends %q to island %d of %d", il.idx, label, to, len(il.out)))
+	}
+	if horizon := il.eng.now.Add(il.p.lookahead); at < horizon {
+		panic(fmt.Sprintf("sim: island %d sends %q to island %d at %v, inside the lookahead horizon %v (now %v + lookahead %v)",
+			il.idx, label, to, at, horizon, il.eng.now, il.p.lookahead))
+	}
+}
+
+// SendAt queues fn to run on island `to` at the absolute timestamp at,
+// which must respect the lookahead: at >= now+lookahead. Messages from one
+// island to another are delivered in send order, and ties against other
+// islands' messages break by sender index — so delivery order, and with it
+// the destination's dispatch order, is identical at every worker count.
+//
+//lightpc:zeroalloc
+func (il *Island) SendAt(to int, at Time, label string, fn func(now Time)) {
+	if to == il.idx {
+		il.eng.ScheduleAt(at, label, fn)
+		return
+	}
+	il.checkSend(to, at, label)
+	il.sent++
+	//lint:allow zeroalloc outbox backing is reused after each barrier drain; growth is amortized
+	il.out[to] = append(il.out[to], xmsg{at: at, fn: fn, label: label})
+}
+
+// Send queues fn to run on island `to` after delay (>= lookahead).
+//
+//lightpc:zeroalloc
+func (il *Island) Send(to int, delay Duration, label string, fn func(now Time)) {
+	il.SendAt(to, il.eng.now.Add(delay), label, fn)
+}
+
+// SendWord queues a data word for island `to` at timestamp at (>=
+// now+lookahead); the destination's handler receives it. The word rides in
+// the message and the event arena — no closure is created — so the
+// steady-state cross-island exchange allocates nothing.
+//
+//lightpc:zeroalloc
+func (il *Island) SendWord(to int, at Time, word uint64) {
+	if to == il.idx {
+		il.eng.ScheduleArgAt(at, "xmsg", il.handler, word)
+		return
+	}
+	il.checkSend(to, at, "xmsg")
+	il.sent++
+	//lint:allow zeroalloc outbox backing is reused after each barrier drain; growth is amortized
+	il.out[to] = append(il.out[to], xmsg{at: at, arg: word})
+}
+
+// runEpoch dispatches every local event strictly before bound. It touches
+// only island-local state (its engine, its outboxes), which is the whole
+// point: workers can run any subset of islands concurrently and the result
+// cannot depend on the assignment. This is the per-island hot loop: it may
+// not allocate.
+//
+//lightpc:zeroalloc
+func (il *Island) runEpoch(bound Time) {
+	il.epochs++
+	n := il.eng.runBefore(bound)
+	if n == 0 {
+		il.idleEpochs++
+	}
+	// Barrier-stall accounting in the simulation domain: the stretch of
+	// this epoch the island sat drained, waiting on the barrier for work
+	// that can only arrive from other islands. (Wall-clock stall would be
+	// nondeterministic; this proxy is identical at every -p.)
+	idleFrom := Max(il.eng.now, il.lastBound)
+	if idleFrom < bound {
+		il.stall += bound.Sub(idleFrom)
+	}
+	il.lastBound = bound
+}
+
+// IslandStats is a deterministic snapshot of one island's counters.
+type IslandStats struct {
+	Index        int
+	Engine       EngineStats
+	Sent         uint64   // cross-island messages this island emitted
+	Delivered    uint64   // cross-island messages delivered to this island
+	Epochs       uint64   // epochs this island participated in
+	IdleEpochs   uint64   // epochs that dispatched nothing (barrier-bound)
+	BarrierStall Duration // sim-time spent drained before epoch bounds
+}
+
+// Stats snapshots the island's counters. Deterministic: every field is a
+// pure function of the simulation, identical at every worker count.
+func (il *Island) Stats() IslandStats {
+	return IslandStats{
+		Index:        il.idx,
+		Engine:       il.eng.Stats(),
+		Sent:         il.sent,
+		Delivered:    il.delivered,
+		Epochs:       il.epochs,
+		IdleEpochs:   il.idleEpochs,
+		BarrierStall: il.stall,
+	}
+}

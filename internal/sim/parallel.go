@@ -1,0 +1,218 @@
+package sim
+
+// parallel.go: a conservative parallel discrete-event engine.
+//
+// The platform is partitioned into islands (island.go), each owning a
+// serial Engine. A static lookahead L — the minimum physical delay of any
+// cross-island effect, derived from device-declared bounds (IslandSpec /
+// MinLookahead) — makes whole epochs safe to run without synchronization:
+//
+//	epoch k:    every island dispatches its local events in [T_k, T_k+L)
+//	            cross-island sends park in the sender's outbox
+//	barrier:    the coordinator drains outboxes in (sender, send-seq)
+//	            order into the destinations' queues, then picks
+//	            T_{k+1} = min over islands of the next event time
+//
+// A message sent at local time t >= T_k carries a timestamp >= t+L >=
+// T_k+L, i.e. beyond the epoch bound — so no event an island dispatches
+// this epoch could have been affected by anything another island did this
+// epoch, and the conservative run dispatches exactly the events the serial
+// run would, in the same per-island order.
+//
+// Determinism: within an island, order is the serial engine's (time, seq).
+// Across islands, delivery order into a destination is (timestamp, sender
+// island, sender send-seq) — the coordinator drains senders in index
+// order, each sender's messages in send order, and the destination
+// engine's seq numbers break timestamp ties by that delivery order. None
+// of this depends on the worker count: -p 1 and -p N are byte-identical.
+//
+// Worker parallelism is an execution detail (barrier.go): -p 1 runs every
+// island inline with no goroutines, -p N stripes islands across N workers.
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// ParallelConfig sizes a ParallelEngine.
+type ParallelConfig struct {
+	// Islands is the partition size (>= 1).
+	Islands int
+	// Lookahead is the static epoch lookahead: a lower bound on the delay
+	// of every cross-island event. It must be positive and should come
+	// from MinLookahead over the devices' declared IslandSpecs.
+	Lookahead Duration
+	// Workers is the -p knob: worker goroutines running islands each
+	// epoch. 0 means GOMAXPROCS; 1 runs inline (the serial reference
+	// path); values above Islands are clamped. The simulation result is
+	// byte-identical at every setting.
+	Workers int
+}
+
+// ParallelEngine is the coordinator: it owns the islands, the epoch loop,
+// and the barrier exchange.
+type ParallelEngine struct {
+	islands   []*Island
+	lookahead Duration
+	workers   int
+
+	epochs   uint64
+	messages uint64
+}
+
+// NewParallel builds an engine over cfg.Islands islands.
+func NewParallel(cfg ParallelConfig) *ParallelEngine {
+	if cfg.Islands <= 0 {
+		panic(fmt.Sprintf("sim: parallel engine needs at least one island, got %d", cfg.Islands))
+	}
+	if cfg.Lookahead <= 0 {
+		panic(fmt.Sprintf("sim: parallel engine needs a positive lookahead, got %v (derive it with MinLookahead)", cfg.Lookahead))
+	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cfg.Islands {
+		w = cfg.Islands
+	}
+	p := &ParallelEngine{lookahead: cfg.Lookahead, workers: w}
+	p.islands = make([]*Island, cfg.Islands)
+	for i := range p.islands {
+		p.islands[i] = &Island{
+			idx: i,
+			eng: NewEngine(),
+			p:   p,
+			out: make([][]xmsg, cfg.Islands),
+		}
+	}
+	return p
+}
+
+// Islands reports the partition size.
+func (p *ParallelEngine) Islands() int { return len(p.islands) }
+
+// Island returns island i (coordinator/setup use; event callbacks must
+// only ever touch their own island).
+func (p *ParallelEngine) Island(i int) *Island { return p.islands[i] }
+
+// Lookahead reports the static epoch lookahead.
+func (p *ParallelEngine) Lookahead() Duration { return p.lookahead }
+
+// Workers reports the resolved worker count.
+func (p *ParallelEngine) Workers() int { return p.workers }
+
+// exchange is the barrier phase: move every outboxed message into its
+// destination engine. Senders drain in index order and each sender's
+// messages in send order, so a destination receives same-timestamp
+// messages in (sender, send-seq) order — the canonical tie-break. Runs
+// only between epochs, when no island is executing.
+func (p *ParallelEngine) exchange() {
+	for _, src := range p.islands {
+		for d, msgs := range src.out {
+			if len(msgs) == 0 {
+				continue
+			}
+			dst := p.islands[d]
+			for i := range msgs {
+				m := &msgs[i]
+				if m.fn != nil {
+					dst.eng.ScheduleAt(m.at, m.label, m.fn)
+				} else {
+					if dst.handler == nil {
+						panic(fmt.Sprintf("sim: island %d received a word message from island %d but has no handler (SetHandler)", d, src.idx))
+					}
+					dst.eng.ScheduleArgAt(m.at, "xmsg", dst.handler, m.arg)
+				}
+				msgs[i] = xmsg{} // drop closure references for the collector
+			}
+			dst.delivered += uint64(len(msgs))
+			p.messages += uint64(len(msgs))
+			src.out[d] = msgs[:0]
+		}
+	}
+}
+
+// nextTime reports the earliest pending event across all islands; ok is
+// false when every queue is drained (after exchange, that means the whole
+// simulation is done — there are no messages in flight between epochs).
+func (p *ParallelEngine) nextTime() (Time, bool) {
+	var min Time
+	found := false
+	for _, il := range p.islands {
+		if t, ok := il.eng.nextEventTime(); ok && (!found || t < min) {
+			min, found = t, true
+		}
+	}
+	return min, found
+}
+
+// Run dispatches epochs until every island drains and no cross-island
+// message is in flight.
+func (p *ParallelEngine) Run() {
+	p.run(0, false)
+}
+
+// RunUntil dispatches every event with a timestamp at or before deadline,
+// then advances each island's clock to deadline.
+func (p *ParallelEngine) RunUntil(deadline Time) {
+	p.run(deadline, true)
+}
+
+// run is the epoch loop. bounded selects RunUntil semantics.
+func (p *ParallelEngine) run(deadline Time, bounded bool) {
+	var pool *epochRunner
+	if p.workers > 1 && len(p.islands) > 1 {
+		pool = newEpochRunner(p.islands, p.workers)
+		defer pool.stop()
+	}
+	for {
+		p.exchange()
+		t, ok := p.nextTime()
+		if !ok || (bounded && t > deadline) {
+			break
+		}
+		bound := t.Add(p.lookahead)
+		if bounded && bound > deadline+1 {
+			// Clip the final epoch so events at exactly the deadline still
+			// dispatch (runBefore's bound is exclusive) without running
+			// past it. A shorter epoch is always conservative.
+			bound = deadline + 1
+		}
+		if pool != nil {
+			pool.runEpoch(bound)
+		} else {
+			for _, il := range p.islands {
+				il.runEpoch(bound)
+			}
+		}
+		p.epochs++
+	}
+	if bounded {
+		for _, il := range p.islands {
+			if il.eng.now < deadline {
+				il.eng.now = deadline
+			}
+		}
+	}
+}
+
+// ParallelStats is a deterministic snapshot of the coordinator's counters.
+type ParallelStats struct {
+	Islands   int
+	Workers   int
+	Lookahead Duration
+	Epochs    uint64 // epochs run (== barrier crossings)
+	Messages  uint64 // cross-island messages delivered
+}
+
+// Stats snapshots the coordinator counters. Every field except Workers is
+// identical at every -p; Workers records the knob for observability.
+func (p *ParallelEngine) Stats() ParallelStats {
+	return ParallelStats{
+		Islands:   len(p.islands),
+		Workers:   p.workers,
+		Lookahead: p.lookahead,
+		Epochs:    p.epochs,
+		Messages:  p.messages,
+	}
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Lockstep differential: the parallel engine against the plain serial
+// Engine. One randomized multi-actor workload runs on both; per-actor
+// dispatch logs must be byte-identical — across 8 seeds, every worker
+// count, and randomized actor->island partitions.
+//
+// The workload makes the comparison well-defined without assuming anything
+// about either engine's tie-breaks: every timestamp an actor generates is
+// aligned to `time % actors == actor`, so two events in one destination's
+// stream can collide only when they come from the SAME sender — and both
+// engines order same-sender ties by send order. Everything else is ordered
+// by timestamp alone, which no scheduler is free to violate.
+
+const scnWordMask = (uint64(1) << 48) - 1
+
+// scnFabric abstracts where the scenario runs: one serial Engine, or a
+// ParallelEngine under some actor->island assignment.
+type scnFabric interface {
+	schedule(actor int, at Time, fn func(now Time))
+	send(from, to int, at Time, fn func(now Time))
+	sendWord(from, to int, at Time, word uint64)
+	run()
+}
+
+type scnActor struct {
+	id     int
+	rng    *RNG
+	budget int
+	val    uint64
+	log    []string
+	s      *scenario
+}
+
+type scenario struct {
+	n      int
+	L      Duration
+	f      scnFabric
+	actors []*scnActor
+}
+
+// align rounds t up to the actor's residue class mod n, making timestamps
+// from different senders collision-free by construction.
+func (s *scenario) align(t Time, actor int) Time {
+	n := Time(s.n)
+	r := Time(actor) % n
+	return t + (r-t%n+n)%n
+}
+
+func (a *scnActor) step(now Time) {
+	a.val = a.val*0x9E3779B97F4A7C15 + uint64(int64(now)) + 1
+	a.log = append(a.log, fmt.Sprintf("%d@%d:%x", a.id, int64(now), a.val&0xFFFF))
+	r := a.rng
+	if a.budget > 0 && r.Bool(0.6) {
+		a.budget--
+		at := a.s.align(now.Add(Duration(r.Intn(30))*Nanosecond), a.id)
+		a.s.f.schedule(a.id, at, a.step)
+	}
+	if a.budget > 0 && r.Bool(0.7) {
+		a.budget--
+		to := r.Intn(a.s.n)
+		at := a.s.align(now.Add(a.s.L+Duration(r.Intn(40))*Nanosecond), a.id)
+		// The token runs the DESTINATION's step: cross-island callbacks
+		// must touch only destination-island state.
+		a.s.f.send(a.id, to, at, a.s.actors[to].step)
+	}
+	if a.budget > 0 && r.Bool(0.4) {
+		a.budget--
+		to := r.Intn(a.s.n)
+		at := a.s.align(now.Add(a.s.L+Duration(r.Intn(40))*Nanosecond), a.id)
+		a.s.f.sendWord(a.id, to, at, a.val&0xFFFF)
+	}
+}
+
+func (a *scnActor) onWord(now Time, word uint64) {
+	a.val ^= (word + 1) * 0xBF58476D1CE4E5B9
+	a.log = append(a.log, fmt.Sprintf("%d@%d:w%x", a.id, int64(now), word))
+	if a.budget > 0 && a.rng.Bool(0.5) {
+		a.budget--
+		at := a.s.align(now.Add(Duration(a.rng.Intn(25))*Nanosecond), a.id)
+		a.s.f.schedule(a.id, at, a.step)
+	}
+}
+
+// newScenario builds the actors and boots each one at a distinct aligned
+// time. The fabric must already be wired to the scenario via setFabric.
+func newScenario(n int, seed uint64, L Duration, budget int) *scenario {
+	s := &scenario{n: n, L: L}
+	s.actors = make([]*scnActor, n)
+	for i := range s.actors {
+		s.actors[i] = &scnActor{
+			id:     i,
+			rng:    NewRNG(SubSeed(seed, fmt.Sprintf("diff/actor/%d", i))),
+			budget: budget,
+			s:      s,
+		}
+	}
+	return s
+}
+
+func (s *scenario) boot() {
+	for i, a := range s.actors {
+		s.f.schedule(i, s.align(Time(Duration(i)*Nanosecond), i), a.step)
+	}
+}
+
+// render folds the per-actor logs into one comparable byte stream.
+func (s *scenario) render() string {
+	var b strings.Builder
+	for _, a := range s.actors {
+		fmt.Fprintf(&b, "actor %d\n", a.id)
+		for _, l := range a.log {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// decodeWord routes an encoded word message to its destination actor. The
+// same decode runs on both fabrics so the logs stay comparable.
+func (s *scenario) decodeWord(now Time, enc uint64) {
+	s.actors[enc>>48].onWord(now, enc&scnWordMask)
+}
+
+// serialFabric runs the whole scenario on one serial Engine — the
+// trivially-correct reference.
+type serialFabric struct {
+	s   *scenario
+	eng *Engine
+}
+
+func (f *serialFabric) schedule(actor int, at Time, fn func(now Time)) {
+	f.eng.ScheduleAt(at, "scn", fn)
+}
+func (f *serialFabric) send(from, to int, at Time, fn func(now Time)) {
+	f.eng.ScheduleAt(at, "scn-x", fn)
+}
+func (f *serialFabric) sendWord(from, to int, at Time, word uint64) {
+	f.eng.ScheduleArgAt(at, "scn-w", f.s.decodeWord, uint64(to)<<48|word&scnWordMask)
+}
+func (f *serialFabric) run() { f.eng.Run() }
+
+// runSerialScenario executes the reference and returns the rendered logs.
+func runSerialScenario(n int, seed uint64, L Duration, budget int) string {
+	s := newScenario(n, seed, L, budget)
+	s.f = &serialFabric{s: s, eng: NewEngine()}
+	s.boot()
+	s.f.run()
+	return s.render()
+}
+
+// parallelFabric runs the scenario on a ParallelEngine under an arbitrary
+// actor->island assignment.
+type parallelFabric struct {
+	s        *scenario
+	p        *ParallelEngine
+	islandOf []int
+}
+
+func (f *parallelFabric) schedule(actor int, at Time, fn func(now Time)) {
+	f.p.Island(f.islandOf[actor]).Engine().ScheduleAt(at, "scn", fn)
+}
+func (f *parallelFabric) send(from, to int, at Time, fn func(now Time)) {
+	f.p.Island(f.islandOf[from]).SendAt(f.islandOf[to], at, "scn-x", fn)
+}
+func (f *parallelFabric) sendWord(from, to int, at Time, word uint64) {
+	f.p.Island(f.islandOf[from]).SendWord(f.islandOf[to], at, uint64(to)<<48|word&scnWordMask)
+}
+func (f *parallelFabric) run() { f.p.Run() }
+
+// runParallelScenario executes the scenario on islands islands with the
+// given workers and actor->island assignment, returning the rendered logs.
+func runParallelScenario(n int, seed uint64, L Duration, budget, islands, workers int, islandOf []int) string {
+	s := newScenario(n, seed, L, budget)
+	p := NewParallel(ParallelConfig{Islands: islands, Lookahead: L, Workers: workers})
+	for i := 0; i < islands; i++ {
+		p.Island(i).SetHandler(s.decodeWord)
+	}
+	s.f = &parallelFabric{s: s, p: p, islandOf: islandOf}
+	s.boot()
+	s.f.run()
+	return s.render()
+}
+
+func identityPartition(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// diffLine locates the first differing line for a readable failure.
+func diffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: %q != %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("length %d != %d lines", len(al), len(bl))
+}
+
+// TestLockstepDifferential is the tentpole's correctness gate: 8 seeds,
+// randomized actor counts, lookaheads and budgets; for each, the parallel
+// engine must reproduce the serial Engine's per-actor dispatch logs
+// byte-identically at every worker count and under randomized partitions
+// that co-locate several actors per island.
+func TestLockstepDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		prm := NewRNG(SubSeed(seed, "diff/params"))
+		n := 1 + prm.Intn(8)
+		L := Duration(4+prm.Intn(12)) * Nanosecond
+		budget := 20 + prm.Intn(40)
+
+		ref := runSerialScenario(n, seed, L, budget)
+		if !strings.Contains(ref, "@") {
+			t.Fatalf("seed %d: degenerate reference log", seed)
+		}
+
+		// Identity partition (one actor per island) at several -p.
+		for _, w := range []int{1, 2, 4, 8} {
+			got := runParallelScenario(n, seed, L, budget, n, w, identityPartition(n))
+			if got != ref {
+				t.Fatalf("seed %d: identity partition, workers=%d diverged: %s", seed, w, diffLine(ref, got))
+			}
+		}
+
+		// Randomized coarser partitions: several actors per island.
+		for trial := 0; trial < 3; trial++ {
+			m := 1 + prm.Intn(n)
+			islandOf := make([]int, n)
+			for i := range islandOf {
+				islandOf[i] = prm.Intn(m)
+			}
+			for _, w := range []int{1, m} {
+				got := runParallelScenario(n, seed, L, budget, m, w, islandOf)
+				if got != ref {
+					t.Fatalf("seed %d trial %d: partition %v, workers=%d diverged: %s",
+						seed, trial, islandOf, w, diffLine(ref, got))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// FuzzParallelDispatch drives the lockstep differential from fuzzed
+// parameters: any (seed, actors, workers, budget, lookahead) combination
+// must produce byte-identical per-actor dispatch logs on the serial Engine
+// and on the parallel engine — both with one actor per island and with a
+// seed-derived coarser partition.
+func FuzzParallelDispatch(f *testing.F) {
+	f.Add(uint64(1), uint64(4), uint64(2), uint64(30), uint64(8))
+	f.Add(uint64(7), uint64(1), uint64(1), uint64(10), uint64(4))
+	f.Add(uint64(42), uint64(8), uint64(8), uint64(60), uint64(15))
+	f.Add(uint64(0xdead), uint64(5), uint64(3), uint64(45), uint64(6))
+	f.Fuzz(func(t *testing.T, seed, actors, workers, budget, look uint64) {
+		n := int(actors%8) + 1
+		w := int(workers%8) + 1
+		b := int(budget % 64)
+		L := Duration(look%16+1) * Nanosecond
+
+		ref := runSerialScenario(n, seed, L, b)
+		if got := runParallelScenario(n, seed, L, b, n, w, identityPartition(n)); got != ref {
+			t.Fatalf("identity partition, workers=%d diverged: %s", w, diffLine(ref, got))
+		}
+
+		// A coarser partition derived from the same fuzz input.
+		prm := NewRNG(SubSeed(seed, "fuzz/partition"))
+		m := 1 + prm.Intn(n)
+		islandOf := make([]int, n)
+		for i := range islandOf {
+			islandOf[i] = prm.Intn(m)
+		}
+		if got := runParallelScenario(n, seed, L, b, m, w, islandOf); got != ref {
+			t.Fatalf("partition %v, workers=%d diverged: %s", islandOf, w, diffLine(ref, got))
+		}
+	})
+}

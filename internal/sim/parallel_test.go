@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestMinLookahead(t *testing.T) {
+	if got := MinLookahead(); got != 0 {
+		t.Fatalf("MinLookahead() = %v, want 0", got)
+	}
+	if got := MinLookahead(IslandSpec{Class: IslandCore}); got != 0 {
+		t.Fatalf("zero-valued spec should be ignored, got %v", got)
+	}
+	got := MinLookahead(
+		IslandSpec{Class: IslandMemory, MinCrossLatency: 25 * Nanosecond},
+		IslandSpec{Class: IslandFabric, MinCrossLatency: 8 * Nanosecond},
+		IslandSpec{Class: IslandCore},
+		IslandSpec{Class: IslandMemory, MinCrossLatency: 61 * Nanosecond},
+	)
+	if got != 8*Nanosecond {
+		t.Fatalf("MinLookahead = %v, want 8ns", got)
+	}
+}
+
+func TestIslandClassString(t *testing.T) {
+	for want, c := range map[string]IslandClass{"core": IslandCore, "memory": IslandMemory, "fabric": IslandFabric} {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if s := IslandClass(77).String(); !strings.Contains(s, "77") {
+		t.Fatalf("unknown class String = %q", s)
+	}
+}
+
+func TestNewParallelValidation(t *testing.T) {
+	mustPanic(t, "no islands", func() { NewParallel(ParallelConfig{Islands: 0, Lookahead: Nanosecond}) })
+	mustPanic(t, "no lookahead", func() { NewParallel(ParallelConfig{Islands: 2}) })
+	p := NewParallel(ParallelConfig{Islands: 2, Lookahead: Nanosecond, Workers: 64})
+	if p.Workers() != 2 {
+		t.Fatalf("workers not clamped to islands: %d", p.Workers())
+	}
+	if p.Islands() != 2 || p.Lookahead() != Nanosecond {
+		t.Fatalf("config not retained: %d islands, lookahead %v", p.Islands(), p.Lookahead())
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// TestParallelPingPong pins the whole protocol on the smallest interesting
+// machine: two islands volleying a counter. Every volley must respect the
+// lookahead, land at the exact requested timestamp, and leave both clocks
+// where the serial semantics say.
+func TestParallelPingPong(t *testing.T) {
+	const L = 10 * Nanosecond
+	for _, workers := range []int{1, 2} {
+		p := NewParallel(ParallelConfig{Islands: 2, Lookahead: L, Workers: workers})
+		var log []string
+		var volley func(now Time)
+		count := 0
+		volley = func(now Time) {
+			self := count % 2
+			log = append(log, fmt.Sprintf("%d@%v", self, now))
+			count++
+			if count < 6 {
+				p.Island(self).Send(1-self, L, "volley", volley)
+			}
+		}
+		p.Island(0).Engine().Schedule(0, "serve", volley)
+		p.Run()
+
+		want := "0@0ps 1@10.00ns 0@20.00ns 1@30.00ns 0@40.00ns 1@50.00ns"
+		if got := strings.Join(log, " "); got != want {
+			t.Fatalf("workers=%d: log = %q, want %q", workers, got, want)
+		}
+		st := p.Stats()
+		if st.Messages != 5 {
+			t.Fatalf("workers=%d: messages = %d, want 5", workers, st.Messages)
+		}
+		if s0 := p.Island(0).Stats(); s0.Sent != 3 || s0.Delivered != 2 {
+			t.Fatalf("workers=%d: island 0 sent/delivered = %d/%d", workers, s0.Sent, s0.Delivered)
+		}
+	}
+}
+
+// TestParallelSenderIndexTieBreak pins the canonical cross-island delivery
+// order: messages from different islands landing on one destination at the
+// same timestamp must dispatch in sender-island-index order — at every
+// worker count — and one sender's messages must stay in send order.
+func TestParallelSenderIndexTieBreak(t *testing.T) {
+	const L = 10 * Nanosecond
+	target := Time(50 * Nanosecond)
+	for _, workers := range []int{1, 3} {
+		p := NewParallel(ParallelConfig{Islands: 3, Lookahead: L, Workers: workers})
+		var got []string
+		arrive := func(tag string) func(Time) {
+			return func(now Time) { got = append(got, tag) }
+		}
+		// Island 1 schedules its sends at t=0, island 0 at t=5ns: send
+		// *wall order* within the epoch is unordered (different workers),
+		// and send sim-time order favors island 1 — but delivery order must
+		// still be island 0 first, because the exchange drains senders in
+		// index order.
+		p.Island(1).Engine().Schedule(0, "src1", func(Time) {
+			p.Island(1).SendAt(2, target, "b0", arrive("1:0"))
+			p.Island(1).SendAt(2, target, "b1", arrive("1:1"))
+		})
+		p.Island(0).Engine().Schedule(5*Nanosecond, "src0", func(Time) {
+			p.Island(0).SendAt(2, target, "a0", arrive("0:0"))
+			p.Island(0).SendAt(2, target, "a1", arrive("0:1"))
+		})
+		p.Run()
+		want := "0:0 0:1 1:0 1:1"
+		if s := strings.Join(got, " "); s != want {
+			t.Fatalf("workers=%d: delivery order %q, want %q", workers, s, want)
+		}
+	}
+}
+
+func TestParallelLookaheadViolationPanics(t *testing.T) {
+	p := NewParallel(ParallelConfig{Islands: 2, Lookahead: 10 * Nanosecond, Workers: 1})
+	p.Island(0).Engine().Schedule(0, "bad", func(now Time) {
+		p.Island(0).SendAt(1, now.Add(9*Nanosecond), "too-soon", func(Time) {})
+	})
+	mustPanic(t, "send inside lookahead", p.Run)
+
+	// Destination range is checked too.
+	p2 := NewParallel(ParallelConfig{Islands: 2, Lookahead: 10 * Nanosecond, Workers: 1})
+	p2.Island(0).Engine().Schedule(0, "bad", func(now Time) {
+		p2.Island(0).Send(5, 10*Nanosecond, "no-such-island", func(Time) {})
+	})
+	mustPanic(t, "send out of range", p2.Run)
+}
+
+// Self-sends are local scheduling: the lookahead does not apply (an island
+// never races against itself).
+func TestParallelSelfSendBelowLookahead(t *testing.T) {
+	p := NewParallel(ParallelConfig{Islands: 2, Lookahead: 10 * Nanosecond, Workers: 1})
+	ran := false
+	p.Island(0).Engine().Schedule(0, "start", func(now Time) {
+		p.Island(0).Send(0, Nanosecond, "self", func(Time) { ran = true })
+	})
+	p.Run()
+	if !ran {
+		t.Fatal("self-send below lookahead did not run")
+	}
+}
+
+func TestParallelRunUntil(t *testing.T) {
+	const L = 10 * Nanosecond
+	for _, workers := range []int{1, 2} {
+		p := NewParallel(ParallelConfig{Islands: 2, Lookahead: L, Workers: workers})
+		var ran []string
+		p.Island(0).Engine().Schedule(40*Nanosecond, "before", func(Time) { ran = append(ran, "before") })
+		p.Island(1).Engine().Schedule(50*Nanosecond, "at", func(Time) { ran = append(ran, "at") })
+		p.Island(0).Engine().Schedule(51*Nanosecond, "after", func(Time) { ran = append(ran, "after") })
+		p.RunUntil(Time(50 * Nanosecond))
+		if got := strings.Join(ran, " "); got != "before at" {
+			t.Fatalf("workers=%d: ran %q, want %q", workers, got, "before at")
+		}
+		for i := 0; i < 2; i++ {
+			if now := p.Island(i).Now(); now != Time(50*Nanosecond) {
+				t.Fatalf("workers=%d: island %d clock = %v, want 50ns", workers, i, now)
+			}
+		}
+		if p.Island(0).Engine().Pending() != 1 {
+			t.Fatalf("workers=%d: post-deadline event lost", workers)
+		}
+	}
+}
+
+func TestParallelSendWord(t *testing.T) {
+	const L = 10 * Nanosecond
+	for _, workers := range []int{1, 2} {
+		p := NewParallel(ParallelConfig{Islands: 2, Lookahead: L, Workers: workers})
+		var got []string
+		for i := 0; i < 2; i++ {
+			i := i
+			p.Island(i).SetHandler(func(now Time, word uint64) {
+				got = append(got, fmt.Sprintf("%d<-%d@%v", i, word, now))
+			})
+		}
+		p.Island(0).Engine().Schedule(0, "start", func(now Time) {
+			p.Island(0).SendWord(1, now.Add(L), 7)
+			p.Island(0).SendWord(0, now.Add(Nanosecond), 3) // self word, below lookahead
+		})
+		p.Run()
+		want := "0<-3@1.00ns 1<-7@10.00ns"
+		if s := strings.Join(got, " "); s != want {
+			t.Fatalf("workers=%d: words %q, want %q", workers, s, want)
+		}
+	}
+}
+
+func TestParallelSendWordNoHandlerPanics(t *testing.T) {
+	p := NewParallel(ParallelConfig{Islands: 2, Lookahead: 10 * Nanosecond, Workers: 1})
+	p.Island(0).Engine().Schedule(0, "start", func(now Time) {
+		p.Island(0).SendWord(1, now.Add(10*Nanosecond), 1)
+	})
+	mustPanic(t, "word without handler", p.Run)
+}
+
+// TestParallelStatsDeterministic pins that every simulation-domain counter
+// — epochs, messages, per-island idle/stall accounting — is identical at
+// every worker count, so the obs export can never leak scheduling noise.
+func TestParallelStatsDeterministic(t *testing.T) {
+	run := func(workers int) (ParallelStats, []IslandStats) {
+		p := buildChatter(t, 4, workers, 1)
+		p.Run()
+		isl := make([]IslandStats, p.Islands())
+		for i := range isl {
+			isl[i] = p.Island(i).Stats()
+		}
+		st := p.Stats()
+		st.Workers = 0 // the knob itself legitimately differs
+		return st, isl
+	}
+	refP, refI := run(1)
+	if refP.Epochs == 0 || refP.Messages == 0 {
+		t.Fatalf("chatter scenario too quiet: %+v", refP)
+	}
+	for _, w := range []int{2, 4} {
+		gotP, gotI := run(w)
+		if gotP != refP {
+			t.Fatalf("workers=%d: parallel stats %+v != %+v", w, gotP, refP)
+		}
+		for i := range refI {
+			if gotI[i] != refI[i] {
+				t.Fatalf("workers=%d: island %d stats %+v != %+v", w, i, gotI[i], refI[i])
+			}
+		}
+	}
+}
+
+// buildChatter wires a small all-to-all chatter scenario: each island
+// repeatedly does local work and forwards tokens to neighbours chosen by
+// its own deterministic RNG. A token delivered to island d runs d's step —
+// every callback touches only its own island's state, so any worker
+// assignment is race-free. Used by the stats and determinism tests.
+func buildChatter(t *testing.T, islands, workers int, seed uint64) *ParallelEngine {
+	t.Helper()
+	const L = 8 * Nanosecond
+	p := NewParallel(ParallelConfig{Islands: islands, Lookahead: L, Workers: workers})
+	steps := make([]func(now Time), islands)
+	for i := 0; i < islands; i++ {
+		i := i
+		rng := NewRNG(SubSeed(seed, fmt.Sprintf("chatter/%d", i)))
+		hops := 0
+		steps[i] = func(now Time) {
+			hops++
+			if hops > 40 {
+				return
+			}
+			// Local work at a sub-lookahead delay...
+			p.Island(i).Engine().Schedule(Duration(rng.Intn(7)+1)*Nanosecond, "work", func(Time) {})
+			// ...then hand a token onward: the destination runs ITS step.
+			to := rng.Intn(islands)
+			at := now.Add(L + Duration(rng.Intn(20))*Nanosecond)
+			p.Island(i).SendAt(to, at, "token", steps[to])
+		}
+	}
+	for i := 0; i < islands; i++ {
+		p.Island(i).Engine().Schedule(Duration(i)*Nanosecond, "boot", steps[i])
+	}
+	return p
+}
