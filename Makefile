@@ -2,7 +2,7 @@ GO ?= go
 BIN := bin
 LINT := $(BIN)/lightpc-lint
 
-.PHONY: all build test race race-parallel vet lint bench bench-json profile perfdiff fuzz-smoke obs-smoke crash-smoke ci clean
+.PHONY: all build test race race-parallel vet lint bench bench-json profile perfdiff fuzz-smoke obs-smoke energy-smoke crash-smoke ci clean
 
 all: build
 
@@ -93,6 +93,20 @@ obs-smoke: | $(BIN)
 		-trace $(BIN)/obs-sweep.json -metrics $(BIN)/obs-sweep.prom
 	$(BIN)/lightpc-obs -check-trace $(BIN)/obs-sweep.json -check-prom $(BIN)/obs-sweep.prom
 
+# energy-smoke: run one metered power cycle (energy mode prints the
+# per-phase joule attribution and the hold-up feasibility verdict) plus a
+# metered 2-seed sweep, then re-validate the artifacts — the energy
+# counter lanes must pass the Chrome trace validator and the joule gauges
+# the Prometheus validator.
+energy-smoke: | $(BIN)
+	$(GO) build -o $(BIN)/lightpc-obs ./cmd/lightpc-obs
+	$(BIN)/lightpc-obs -q -mode energy -workload Redis \
+		-trace $(BIN)/obs-energy.json -metrics $(BIN)/obs-energy.prom -metrics-json $(BIN)/obs-energy.metrics.json
+	$(BIN)/lightpc-obs -check-trace $(BIN)/obs-energy.json -check-prom $(BIN)/obs-energy.prom
+	$(BIN)/lightpc-obs -q -mode sweep -energy -seeds 1,2 -j 2 \
+		-trace $(BIN)/obs-energy-sweep.json -metrics $(BIN)/obs-energy-sweep.prom
+	$(BIN)/lightpc-obs -check-trace $(BIN)/obs-energy-sweep.json -check-prom $(BIN)/obs-energy-sweep.prom
+
 # crash-smoke: a bounded crash-point adversary pass — word-granular
 # enumeration of every persistence mechanism, a bisection locating the
 # exact commit instant inside the hold-up window, and a small cut-matrix
@@ -106,7 +120,7 @@ crash-smoke: | $(BIN)
 	$(BIN)/lightpc-crash -mode sweep -workloads Redis -seeds 1 -cuts 4 -j 0 -q && \
 	echo "crash-smoke: all recovery invariants hold in $$(( ($$(date +%s%N) - start) / 1000000 )) ms"
 
-ci: build vet lint test race race-parallel fuzz-smoke obs-smoke crash-smoke
+ci: build vet lint test race race-parallel fuzz-smoke obs-smoke energy-smoke crash-smoke
 
 clean:
 	rm -rf $(BIN)

@@ -165,7 +165,9 @@ func main() {
 	// 0 allocs/op watch — a platform built without a tracer must pay nothing.
 	// internal/linetab: the paged device-metadata tables, whose steady-state
 	// Get/Set/Flight paths are also pinned at 0 allocs/op.
-	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchtime=1x", "-benchmem", "-count=1", ".", "./internal/sim", "./internal/obs", "./internal/linetab")
+	// internal/energy: the meter charge paths — the disabled (nil) meter
+	// benches are pinned at 0 allocs/op like the disabled obs instruments.
+	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchtime=1x", "-benchmem", "-count=1", ".", "./internal/sim", "./internal/obs", "./internal/linetab", "./internal/energy")
 	// The bench subprocess must also see the real core count, both so the
 	// parallel benches (which skip below 2) get their chance and so the
 	// "-N" name suffix matches what parseBench strips.

@@ -9,6 +9,7 @@
 //	lightpc-obs -trace out.json -metrics out.prom
 //	lightpc-obs -platform full -workload Redis -seed 7 -trace redis.json
 //	lightpc-obs -mode sweep -seeds 1,2,3,4 -j 4 -trace sweep.json
+//	lightpc-obs -mode energy -workload Redis    # per-phase joule breakdown
 //	lightpc-obs -check-trace out.json        # validate and exit
 //	lightpc-obs -check-prom out.prom         # validate and exit
 package main
@@ -62,7 +63,7 @@ func parseSeeds(s string) []uint64 {
 
 func main() {
 	var (
-		mode     = flag.String("mode", "sng", "sng (one scenario) | sweep (one cell per seed)")
+		mode     = flag.String("mode", "sng", "sng (one scenario) | sweep (one cell per seed) | energy (joule breakdown)")
 		platform = flag.String("platform", "full", "platform: legacy | b | full")
 		seed     = flag.Uint64("seed", 1, "simulation seed (sng mode)")
 		seeds    = flag.String("seeds", "1,2,3,4", "comma-separated seeds (sweep mode)")
@@ -75,6 +76,7 @@ func main() {
 		wl       = flag.String("workload", "", "Table II workload to run first (empty = none)")
 		psu      = flag.String("psu", "atx", "psu: atx | server")
 		holdup   = flag.Duration("holdup", 0, "override hold-up window (0 = PSU spec)")
+		energyOn = flag.Bool("energy", false, "attach per-device joule meters (implied by -mode energy)")
 
 		traceOut = flag.String("trace", "", "write Chrome trace-event JSON here")
 		promOut  = flag.String("metrics", "", "write Prometheus text snapshot here")
@@ -114,6 +116,7 @@ func main() {
 		Workload:    *wl,
 		PSU:         *psu,
 		Holdup:      sim.Duration(holdup.Nanoseconds()) * sim.Nanosecond,
+		Energy:      *energyOn || *mode == "energy",
 	}
 
 	switch *mode {
@@ -124,7 +127,19 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Print(res.PhaseTable())
+			if sc.Energy {
+				fmt.Print(res.EnergyTable())
+			}
 		}
+		writeFile(*traceOut, res.ChromeTrace())
+		writeFile(*promOut, res.Registry.PrometheusBytes())
+		writeFile(*jsonOut, res.Registry.JSONBytes())
+	case "energy":
+		res, err := drive.SnG(sc)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(res.EnergyTable())
 		writeFile(*traceOut, res.ChromeTrace())
 		writeFile(*promOut, res.Registry.PrometheusBytes())
 		writeFile(*jsonOut, res.Registry.JSONBytes())
@@ -135,11 +150,14 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Print(sw.PhaseTables())
+			if sc.Energy {
+				fmt.Print(sw.EnergyTables())
+			}
 		}
 		writeFile(*traceOut, sw.ChromeTrace())
 		writeFile(*promOut, sw.Prometheus())
 	default:
-		fatalf("unknown mode %q (want sng or sweep)", *mode)
+		fatalf("unknown mode %q (want sng, sweep, or energy)", *mode)
 	}
 }
 

@@ -1,0 +1,67 @@
+package lightpc_test
+
+import (
+	"math"
+	"testing"
+
+	lightpc "repro"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// TestMeterSumMatchesSystemEnergy pins the reconciliation between the two
+// energy models: the coarse system curve (RunResult.EnergyJ = busy-state
+// watts × elapsed) and the per-device meter set. The meter specs are
+// calibrated from the same power.Params, and every metered component is
+// resident for the whole run window, so the static (state-power) joules
+// must sum to the system figure exactly — the per-op dynamic energy is
+// the meters' refinement on top (the residual DESIGN.md documents).
+func TestMeterSumMatchesSystemEnergy(t *testing.T) {
+	for _, kind := range []lightpc.Kind{lightpc.LegacyPC, lightpc.LightPCFull} {
+		for _, name := range []string{"bzip2", "Redis"} { // single- and multi-threaded
+			spec, ok := workload.ByName(name)
+			if !ok {
+				t.Fatalf("workload %q missing", name)
+			}
+			cfg := lightpc.DefaultConfig(kind)
+			cfg.SampleOps = 5_000
+			cfg.Energy = true
+			p := lightpc.New(cfg)
+			rr := p.Run(spec)
+
+			var stateJ, opJ float64
+			for _, m := range p.Energy().Meters() {
+				stateJ += m.StateJ()
+				opJ += m.OpJ()
+			}
+			if rr.EnergyJ <= 0 {
+				t.Fatalf("%v/%s: system energy %v, want > 0", kind, name, rr.EnergyJ)
+			}
+			if rel := math.Abs(stateJ-rr.EnergyJ) / rr.EnergyJ; rel > 1e-9 {
+				t.Errorf("%v/%s: meter state-joules %.12g vs system %.12g (rel err %.3g, want ≤ 1e-9)",
+					kind, name, stateJ, rr.EnergyJ, rel)
+			}
+			if opJ <= 0 {
+				t.Errorf("%v/%s: dynamic op-joules %v, want > 0 (workload charged no per-op energy)", kind, name, opJ)
+			}
+		}
+	}
+}
+
+// TestEnergyOffMetersAbsent pins the disabled default: no meter set is
+// built, and the run still works with every hot-path meter nil.
+func TestEnergyOffMetersAbsent(t *testing.T) {
+	spec, _ := workload.ByName("Redis")
+	p := lightpc.New(lightpc.DefaultConfig(lightpc.LightPCFull))
+	if p.Energy() != nil {
+		t.Fatalf("Energy() = %v with Config.Energy=false, want nil", p.Energy())
+	}
+	rr := p.Run(spec)
+	if rr.Elapsed <= 0 {
+		t.Fatalf("run with energy off did not advance time")
+	}
+	stop := p.PowerFail(0, power.ATX())
+	if stop.Energy != nil {
+		t.Fatalf("StopReport.Energy = %v with energy off, want nil", stop.Energy)
+	}
+}

@@ -12,6 +12,7 @@ package cpu
 
 import (
 	"repro/internal/cache"
+	"repro/internal/energy"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -30,6 +31,12 @@ type Config struct {
 	// WriteStallOverlap is the same for store acknowledgements (posted
 	// through the store buffer, so much lower).
 	WriteStallOverlap float64
+
+	// Energy optionally holds one meter per core (energy.CPUCoreSpec
+	// states). Run marks cores that drive a generator active and the rest
+	// idle, then integrates every meter over the run window — all outside
+	// the per-reference hot loop, so metering costs the loop nothing.
+	Energy []*energy.Meter
 }
 
 // DefaultConfig is the FPGA prototype clocked at 400 MHz.
@@ -123,12 +130,27 @@ func Run(cfg Config, start sim.Time, gens []workload.Generator, backend cache.Ba
 		il.order[i] = int32(i)
 	}
 
+	// Charge-on-transition energy states: a core with a generator runs
+	// active for the whole window (the busy-load convention the system
+	// Watts curve uses), the rest sit idle. Spare meters beyond the core
+	// count stay in whatever state SnG left them.
+	for i, m := range cfg.Energy {
+		if i < len(gens) {
+			m.SetState(start, energy.CPUActive)
+		} else {
+			m.SetState(start, energy.CPUIdle)
+		}
+	}
+
 	var res Result
 	il.run(&res)
 
 	end := start
 	for i := range cores {
 		end = sim.Max(end, cores[i].now)
+	}
+	for _, m := range cfg.Energy {
+		m.Sync(end)
 	}
 	res.Elapsed = end.Sub(start)
 	res.Cycles = res.Elapsed.ToCycles(cfg.FreqHz)

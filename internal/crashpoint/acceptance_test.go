@@ -22,6 +22,8 @@ var acceptanceClosure = []string{
 	"internal/sim",
 	"internal/trace",
 	"internal/obs",
+	"internal/power",
+	"internal/energy",
 	"internal/cache",
 	"internal/kernel",
 	"internal/pmdk",

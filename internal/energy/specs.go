@@ -1,0 +1,197 @@
+package energy
+
+import "repro/internal/power"
+
+// Spec constructors for the device stack. State watts are calibrated from
+// power.Params — the same budget the fig18/fig21 system curve uses — so
+// the sum of every meter's StateJ reproduces the system-level
+// Watts(state) × elapsed figure exactly (the equivalence test in the root
+// package pins this). Per-operation joules are the *additional* dynamic
+// energy the coarse system curve cannot see: order-of-magnitude figures
+// from the PCM/DRAM/Optane literature, documented as the residual between
+// the two power paths in DESIGN.md.
+
+// CPU core states (CPUCoreSpec order). A fresh meter starts Active —
+// correct for run epochs, and SnG flips cores to Offline explicitly.
+const (
+	CPUActive State = iota
+	CPUIdle
+	CPUOffline
+)
+
+// CPUCoreSpec models one core: active/idle draws from the budget, offline
+// draws nothing. No per-op entries — core dynamic energy is folded into
+// the active draw, as in the paper's Watts curve.
+func CPUCoreSpec(p power.Params) *Spec {
+	return &Spec{
+		Component: "cpu-core",
+		States: []StateSpec{
+			{Name: "active", W: p.CoreActiveW},
+			{Name: "idle", W: p.CoreIdleW},
+			{Name: "offline", W: 0},
+		},
+	}
+}
+
+// PRAM array operations (PRAMArraySpec order).
+const (
+	PRAMRead Op = iota
+	PRAMWrite
+	PRAMCooling
+)
+
+// PRAMPowered is the single PRAM array state: no refresh, low static draw.
+const PRAMPowered State = 0
+
+// PRAMArraySpec models a bank of dimms Bare-NVDIMMs as one component:
+// SET/RESET pulses per write, sense energy per read, and the thermal
+// budget the cooling window exists to amortize.
+func PRAMArraySpec(p power.Params, dimms int) *Spec {
+	return &Spec{
+		Component: "pram-array",
+		Ops: []OpSpec{
+			{Name: "read", J: 2.0e-9},
+			{Name: "write", J: 15.0e-9},
+			{Name: "cooling", J: 3.0e-9},
+		},
+		States: []StateSpec{{Name: "powered", W: float64(dimms) * p.PRAMDIMMW}},
+	}
+}
+
+// DRAM array operations (DRAMArraySpec order).
+const (
+	DRAMActivate Op = iota
+	DRAMPrecharge
+	DRAMCASRead
+	DRAMCASWrite
+	DRAMRefresh
+)
+
+// DRAMRetention is the single DRAM array state: retention (refresh burden
+// included in the DIMM budget, per-burst refresh energy charged as ops).
+const DRAMRetention State = 0
+
+// DRAMArraySpec models a bank of dimms DRAM DIMMs as one component.
+func DRAMArraySpec(p power.Params, dimms int) *Spec {
+	return &Spec{
+		Component: "dram-array",
+		Ops: []OpSpec{
+			{Name: "activate", J: 1.5e-9},
+			{Name: "precharge", J: 1.0e-9},
+			{Name: "cas_read", J: 1.2e-9},
+			{Name: "cas_write", J: 1.3e-9},
+			{Name: "refresh", J: 28.0e-9},
+		},
+		States: []StateSpec{{Name: "retention", W: float64(dimms) * p.DRAMDIMMW}},
+	}
+}
+
+// Memory-controller operation (DRAMCtrlSpec order).
+const CtrlRequest Op = 0
+
+// CtrlPowered is the controller complex's single state.
+const CtrlPowered State = 0
+
+// DRAMCtrlSpec models the DRAM + NMEM controller complex.
+func DRAMCtrlSpec(p power.Params) *Spec {
+	return &Spec{
+		Component: "memctrl",
+		Ops:       []OpSpec{{Name: "request", J: 0.3e-9}},
+		States:    []StateSpec{{Name: "powered", W: p.DRAMCtrlW}},
+	}
+}
+
+// PSM operations (PSMSpec order).
+const (
+	PSMPortRead Op = iota
+	PSMPortWrite
+	PSMReconstruct
+	PSMMediaWrite
+	PSMWearMove
+	PSMScrubLine
+)
+
+// PSMPowered is the persistent support module's single state.
+const PSMPowered State = 0
+
+// PSMSpec models the persistent support module: port transactions, XCC
+// reconstruction XORs, media programs it schedules, wear-level migrations
+// (one line read + rewrite), and scrub passes (priced per line visited).
+func PSMSpec(p power.Params) *Spec {
+	return &Spec{
+		Component: "psm",
+		Ops: []OpSpec{
+			{Name: "port_read", J: 0.2e-9},
+			{Name: "port_write", J: 0.2e-9},
+			{Name: "reconstruct", J: 0.9e-9},
+			{Name: "media_write", J: 0.1e-9},
+			{Name: "wear_move", J: 64.0e-9},
+			{Name: "scrub_line", J: 4.0e-9},
+		},
+		States: []StateSpec{{Name: "powered", W: p.PSMW}},
+	}
+}
+
+// PMEM DIMM operations (PMEMDIMMSpec order).
+const (
+	PMEMSRAMHit Op = iota
+	PMEMDRAMHit
+	PMEMMediaRead
+	PMEMMediaWrite
+	PMEMCombinedWrite
+)
+
+// PMEMPowered is the Optane-style DIMM's single state.
+const PMEMPowered State = 0
+
+// PMEMDIMMSpec models one Optane-style PMEM DIMM's internal hierarchy.
+func PMEMDIMMSpec(p power.Params) *Spec {
+	return &Spec{
+		Component: "pmemdimm",
+		Ops: []OpSpec{
+			{Name: "sram_hit", J: 0.5e-9},
+			{Name: "dram_hit", J: 4.0e-9},
+			{Name: "media_read", J: 25.0e-9},
+			{Name: "media_write", J: 90.0e-9},
+			{Name: "combined_write", J: 0.8e-9},
+		},
+		States: []StateSpec{{Name: "powered", W: p.PMEMDIMMW}},
+	}
+}
+
+// Cache operations (CacheSpec order).
+const (
+	CacheHit Op = iota
+	CacheFill
+	CacheWriteback
+	CacheFlushLine
+)
+
+// CacheSpec models an SRAM cache's dynamic energy. Static draw is folded
+// into the core budget (caches are on the core power rail), so the spec
+// has no states beyond the free default.
+func CacheSpec() *Spec {
+	return &Spec{
+		Component: "cache",
+		Ops: []OpSpec{
+			{Name: "hit", J: 0.03e-9},
+			{Name: "fill", J: 0.2e-9},
+			{Name: "writeback", J: 0.2e-9},
+			{Name: "flush_line", J: 0.2e-9},
+		},
+		States: []StateSpec{{Name: "on", W: 0}},
+	}
+}
+
+// NoC operation (NoCSpec order).
+const NoCHop Op = 0
+
+// NoCSpec models the interconnect: energy per bus transfer (one hop),
+// static draw folded into the uncore/controller budgets.
+func NoCSpec() *Spec {
+	return &Spec{
+		Component: "noc",
+		Ops:       []OpSpec{{Name: "hop", J: 0.12e-9}},
+		States:    []StateSpec{{Name: "on", W: 0}},
+	}
+}

@@ -115,6 +115,10 @@ func All() []Named {
 			_, t := PDES(o)
 			return t
 		})},
+		{"energy", "per-device joule metering across a power cycle", func(o Options) []*report.Table {
+			_, ts := EnergyAccounting(o)
+			return ts
+		}},
 	}
 }
 

@@ -32,6 +32,11 @@ type Options struct {
 	// 0 means GOMAXPROCS; 1 forces the inline serial path. Output is
 	// byte-for-byte identical at every setting (see internal/sim).
 	Par int
+
+	// Energy attaches per-device joule meters to every platform the
+	// harnesses build; tables that know how grow a joules column. Off by
+	// default, so existing goldens are byte-identical.
+	Energy bool
 	// OnCellStart and OnCellDone observe runner cells as workers pick
 	// them up and finish them (the CLI's -progress reporting). They may
 	// be called concurrently.
@@ -71,6 +76,7 @@ func platform(kind lightpc.Kind, o Options) *lightpc.Platform {
 	cfg := lightpc.DefaultConfig(kind)
 	cfg.SampleOps = o.SampleOps
 	cfg.Seed = o.Seed
+	cfg.Energy = o.Energy
 	return lightpc.New(cfg)
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -83,6 +84,29 @@ func TestPDESParEquivalence(t *testing.T) {
 	for _, p := range []int{2, 4, 8, runtime.GOMAXPROCS(0)} {
 		if got := render(p); got != want {
 			t.Fatalf("-p %d output diverged from -p 1; first diff near:\n%s", p,
+				firstDiff(got, want))
+		}
+	}
+}
+
+// TestPDESEnergyParEquivalence extends the invariant to the per-island
+// bank meters: each island charges only its own meter inside its horizon,
+// so the joule column is identical at every -p.
+func TestPDESEnergyParEquivalence(t *testing.T) {
+	render := func(par int) string {
+		o := QuickOptions()
+		o.Par = par
+		o.Energy = true
+		_, tab := PDES(o)
+		return tab.String()
+	}
+	want := render(1)
+	if !strings.Contains(want, "bank uJ") {
+		t.Fatalf("pdes energy table missing bank uJ column:\n%s", want)
+	}
+	for _, p := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if got := render(p); got != want {
+			t.Fatalf("-p %d energy output diverged from -p 1; first diff near:\n%s", p,
 				firstDiff(got, want))
 		}
 	}

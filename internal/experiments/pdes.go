@@ -6,7 +6,9 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/energy"
 	"repro/internal/noc"
+	"repro/internal/power"
 	"repro/internal/pram"
 	"repro/internal/psm"
 	"repro/internal/report"
@@ -48,7 +50,8 @@ type pdesNode struct {
 	il     *sim.Island
 	rng    *sim.RNG
 	bank   *pram.Device
-	cursor sim.Time // bank command-port cursor
+	bankM  *energy.Meter // island-owned joule meter (nil with energy off)
+	cursor sim.Time      // bank command-port cursor
 
 	budget      uint64
 	window      sim.Duration
@@ -144,6 +147,11 @@ type PDESRow struct {
 	PostedIn  uint64
 	Rows      int
 	Clock     sim.Time
+
+	// BankJ is the island bank meter's total joules (0 with energy off).
+	// Each island charges only its own meter, so the per-island figures —
+	// like every other column — are identical at every -p.
+	BankJ float64
 }
 
 // pdesLookahead derives the scenario's epoch lookahead and its physical
@@ -202,6 +210,11 @@ func PDESEngine(o Options) (*sim.ParallelEngine, []*pdesNode) {
 			windowsLeft: windows,
 			pending:     make([][]uint64, islands),
 		}
+		if o.Energy {
+			nd.bankM = energy.NewMeter(fmt.Sprintf("bank%d", i),
+				energy.PRAMArraySpec(power.Default(), 1))
+			nd.bank.SetMeter(nd.bankM)
+		}
 		nodes[i] = nd
 		nd.il.SetHandler(nd.onRemote)
 		nd.il.Engine().Schedule(sim.Duration(i)*sim.Nanosecond, "pdes-boot", nd.quantumStep)
@@ -222,6 +235,10 @@ func PDES(o Options) ([]PDESRow, *report.Table) {
 	rows := make([]PDESRow, len(nodes))
 	var tot PDESRow
 	for i, nd := range nodes {
+		// Charge each bank's powered-state residency up to its island's
+		// local clock before reading the meter (barrier phase: the island
+		// is not running).
+		nd.bankM.Sync(nd.il.Now())
 		rows[i] = PDESRow{
 			Island:    i,
 			Ops:       nd.reads + nd.writes + nd.postedOut,
@@ -231,6 +248,7 @@ func PDES(o Options) ([]PDESRow, *report.Table) {
 			PostedIn:  nd.postedIn,
 			Rows:      nd.bank.TouchedRows(),
 			Clock:     nd.il.Now(),
+			BankJ:     nd.bankM.TotalJ(),
 		}
 		tot.Ops += rows[i].Ops
 		tot.Reads += rows[i].Reads
@@ -238,21 +256,33 @@ func PDES(o Options) ([]PDESRow, *report.Table) {
 		tot.PostedOut += rows[i].PostedOut
 		tot.PostedIn += rows[i].PostedIn
 		tot.Rows += rows[i].Rows
+		tot.BankJ += rows[i].BankJ
 	}
 
 	window, floor := pdesLookahead()
 	st := p.Stats()
-	t := report.New("Extension: conservative parallel DES (island partition, static lookahead)",
-		"island", "ops", "reads", "writes", "posted out", "posted in", "rows touched", "local clock")
+	cols := []string{"island", "ops", "reads", "writes", "posted out", "posted in", "rows touched", "local clock"}
+	if o.Energy {
+		cols = append(cols, "bank uJ")
+	}
+	t := report.New("Extension: conservative parallel DES (island partition, static lookahead)", cols...)
 	for _, r := range rows {
-		t.Add(fmt.Sprintf("%d", r.Island), fmt.Sprintf("%d", r.Ops),
+		cells := []string{fmt.Sprintf("%d", r.Island), fmt.Sprintf("%d", r.Ops),
 			fmt.Sprintf("%d", r.Reads), fmt.Sprintf("%d", r.Writes),
 			fmt.Sprintf("%d", r.PostedOut), fmt.Sprintf("%d", r.PostedIn),
-			fmt.Sprintf("%d", r.Rows), fmt.Sprintf("%v", r.Clock))
+			fmt.Sprintf("%d", r.Rows), fmt.Sprintf("%v", r.Clock)}
+		if o.Energy {
+			cells = append(cells, report.F(r.BankJ*1e6, 3))
+		}
+		t.Add(cells...)
 	}
-	t.Add("total", fmt.Sprintf("%d", tot.Ops), fmt.Sprintf("%d", tot.Reads),
+	totCells := []string{"total", fmt.Sprintf("%d", tot.Ops), fmt.Sprintf("%d", tot.Reads),
 		fmt.Sprintf("%d", tot.Writes), fmt.Sprintf("%d", tot.PostedOut),
-		fmt.Sprintf("%d", tot.PostedIn), fmt.Sprintf("%d", tot.Rows), "-")
+		fmt.Sprintf("%d", tot.PostedIn), fmt.Sprintf("%d", tot.Rows), "-"}
+	if o.Energy {
+		totCells = append(totCells, report.F(tot.BankJ*1e6, 3))
+	}
+	t.Add(totCells...)
 	t.Note("lookahead = flush window %v (floor: device min cross-latency %v); %d islands, %d epochs, %d cross-island messages — identical at every -p",
 		window, floor, st.Islands, st.Epochs, st.Messages)
 	return rows, t

@@ -54,6 +54,10 @@ type TableIIRow struct {
 	RowBufferHits uint64
 	MemReads      uint64 // sampled memory-level reads
 	MemWrites     uint64
+
+	// MeterJ is the platform meter set's total joules for the sampled run
+	// (0 unless Options.Energy).
+	MeterJ float64
 }
 
 // TableII regenerates the benchmark characterization by running every
@@ -76,22 +80,30 @@ func TableII(o Options) ([]TableIIRow, *report.Table) {
 				RowBufferHits: st.RowBufferHits,
 				MemReads:      gs.Reads,
 				MemWrites:     gs.Writes,
+				MeterJ:        p.Energy().TotalJ(),
 			}
 		})
-	t := report.New("Table II: benchmark characterization",
-		"workload", "category", "mem reads", "mem writes", "r/w",
-		"buffer hit", "D$ read hit", "D$ write hit", "multi")
+	cols := []string{"workload", "category", "mem reads", "mem writes", "r/w",
+		"buffer hit", "D$ read hit", "D$ write hit", "multi"}
+	if o.Energy {
+		cols = append(cols, "mJ")
+	}
+	t := report.New("Table II: benchmark characterization", cols...)
 	for _, row := range rows {
 		s := row.Spec
 		multi := ""
 		if s.MultiThread {
 			multi = "yes"
 		}
-		t.Add(s.Name, string(s.Category),
+		cells := []string{s.Name, string(s.Category),
 			report.Count(s.Reads), report.Count(s.Writes),
 			report.F(s.ReadWriteRatio(), 1),
 			report.Count(s.BufferHits),
-			report.Pct(s.DReadHit), report.Pct(s.DWriteHit), multi)
+			report.Pct(s.DReadHit), report.Pct(s.DWriteHit), multi}
+		if o.Energy {
+			cells = append(cells, report.F(row.MeterJ*1e3, 3))
+		}
+		t.Add(cells...)
 	}
 	t.Note("reads/writes are Table II's memory-level reference counts; the sampled run preserves their mix")
 	return rows, t

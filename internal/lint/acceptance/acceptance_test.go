@@ -26,6 +26,8 @@ var cpuClosure = []string{
 	"internal/sim",
 	"internal/trace",
 	"internal/obs",
+	"internal/power",
+	"internal/energy",
 	"internal/cache",
 	"internal/workload",
 	"internal/cpu",
@@ -37,6 +39,8 @@ var pmdkClosure = []string{
 	"internal/sim",
 	"internal/trace",
 	"internal/obs",
+	"internal/power",
+	"internal/energy",
 	"internal/cache",
 	"internal/kernel",
 	"internal/pmdk",
@@ -153,6 +157,8 @@ var expClosure = []string{
 	"internal/sim",
 	"internal/trace",
 	"internal/obs",
+	"internal/power",
+	"internal/energy",
 	"internal/cache",
 	"internal/workload",
 	"internal/cpu",
@@ -165,7 +171,6 @@ var expClosure = []string{
 	"internal/nvdimm",
 	"internal/psm",
 	"internal/memctrl",
-	"internal/power",
 	"internal/sng",
 	"internal/journal",
 	"internal/noc",

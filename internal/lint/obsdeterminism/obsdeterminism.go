@@ -18,8 +18,12 @@
 // nodeterminism already bans the clock in non-test internal/ code; this
 // pass extends both bans to every file of internal/obs packages —
 // including tests, whose byte-equality assertions are themselves part of
-// the contract. There is no exception today; if one ever appears it must
-// carry a reasoned directive:
+// the contract. internal/energy is held to the same bar: its joule
+// figures feed the same exported artifacts (Prometheus gauges, Chrome
+// counter lanes, report tables locked by goldens), so a clock read or a
+// ranged map there corrupts the same bytes one layer earlier. There is
+// no exception today; if one ever appears it must carry a reasoned
+// directive:
 //
 //	for k := range m { //lint:allow obsdeterminism commutative fold, never exported
 package obsdeterminism
@@ -35,7 +39,7 @@ import (
 // Analyzer is the obsdeterminism pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "obsdeterminism",
-	Doc:  "forbid wall-clock reads and map iteration in internal/obs; exported bytes must be a pure function of sim time",
+	Doc:  "forbid wall-clock reads and map iteration in internal/obs and internal/energy; exported bytes must be a pure function of sim time",
 	Run:  run,
 }
 
@@ -48,16 +52,23 @@ var clockReads = map[string]bool{
 	"Until": true,
 }
 
-// obsPackage reports whether the import path is part of the
-// observability layer.
-func obsPackage(path string) bool {
-	return path == "internal/obs" ||
-		strings.Contains(path, "/internal/obs") ||
-		strings.HasPrefix(path, "internal/obs/")
+// layerOf names the determinism-critical layer the import path belongs
+// to ("internal/obs" or "internal/energy"), or "" when the pass does not
+// apply. The label appears verbatim in diagnostics.
+func layerOf(path string) string {
+	for _, layer := range []string{"internal/obs", "internal/energy"} {
+		if path == layer ||
+			strings.Contains(path, "/"+layer) ||
+			strings.HasPrefix(path, layer+"/") {
+			return layer
+		}
+	}
+	return ""
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	if !obsPackage(pass.Pkg.Path()) {
+	layer := layerOf(pass.Pkg.Path())
+	if layer == "" {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
@@ -66,9 +77,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
-				checkClock(pass, n)
+				checkClock(pass, layer, n)
 			case *ast.RangeStmt:
-				checkRange(pass, n)
+				checkRange(pass, layer, n)
 			}
 			return true
 		})
@@ -77,7 +88,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 }
 
 // checkClock flags selector uses of the time package's clock readers.
-func checkClock(pass *analysis.Pass, sel *ast.SelectorExpr) {
+func checkClock(pass *analysis.Pass, layer string, sel *ast.SelectorExpr) {
 	id, ok := sel.X.(*ast.Ident)
 	if !ok {
 		return
@@ -87,17 +98,17 @@ func checkClock(pass *analysis.Pass, sel *ast.SelectorExpr) {
 		return
 	}
 	if clockReads[sel.Sel.Name] {
-		pass.Reportf(sel.Pos(), "time.%s in internal/obs: exported trace/metric bytes must be a pure function of sim time, never the host clock", sel.Sel.Name)
+		pass.Reportf(sel.Pos(), "time.%s in %s: exported trace/metric bytes must be a pure function of sim time, never the host clock", sel.Sel.Name, layer)
 	}
 }
 
 // checkRange flags range statements whose operand is a map.
-func checkRange(pass *analysis.Pass, rs *ast.RangeStmt) {
+func checkRange(pass *analysis.Pass, layer string, rs *ast.RangeStmt) {
 	t := pass.TypesInfo.TypeOf(rs.X)
 	if t == nil {
 		return
 	}
 	if _, ok := t.Underlying().(*types.Map); ok {
-		pass.Reportf(rs.Pos(), "map iteration in internal/obs: range order is host-random and would leak into exported bytes; keep insertion order in a slice and sort a copy")
+		pass.Reportf(rs.Pos(), "map iteration in %s: range order is host-random and would leak into exported bytes; keep insertion order in a slice and sort a copy", layer)
 	}
 }

@@ -9,5 +9,6 @@ import (
 
 func TestObsdeterminism(t *testing.T) {
 	linttest.Run(t, "testdata", obsdeterminism.Analyzer,
-		"internal/obs/bad", "internal/obs/good", "outside")
+		"internal/obs/bad", "internal/obs/good",
+		"internal/energy/bad", "internal/energy/good", "outside")
 }

@@ -83,6 +83,18 @@ func WriteChromeTrace(w io.Writer, names []string, tracers ...*Tracer) error {
 				fmt.Fprintf(&line, `{"ph":"i","s":"t","name":%s,"cat":%s,"ts":%s,"pid":%d,"tid":%d`,
 					jsonString(ev.Name), jsonString(ev.Cat),
 					chromeTS(int64(ev.Start)), pid, ev.Lane)
+			case KindCounterSample:
+				// Counter samples always carry args (the sampled value is
+				// the whole point); an unset ArgName falls back to "value".
+				argName := ev.ArgName
+				if argName == "" {
+					argName = "value"
+				}
+				fmt.Fprintf(&line, `{"ph":"C","name":%s,"cat":%s,"ts":%s,"pid":%d,"tid":%d,"args":{%s:%d}}`,
+					jsonString(ev.Name), jsonString(ev.Cat),
+					chromeTS(int64(ev.Start)), pid, ev.Lane, jsonString(argName), ev.Arg)
+				emit(line.String())
+				continue
 			default:
 				return fmt.Errorf("obs: unknown event kind %d", ev.Kind)
 			}
@@ -171,6 +183,16 @@ func ValidateChromeTrace(data []byte) error {
 			}
 			if ev.S == "" {
 				return fmt.Errorf("chrome trace: event %d (%q): instant without scope", i, ev.Name)
+			}
+			if !named[row{*ev.Pid, *ev.Tid}] {
+				return fmt.Errorf("chrome trace: event %d (%q): unnamed row pid=%d tid=%d", i, ev.Name, *ev.Pid, *ev.Tid)
+			}
+		case "C":
+			if ev.TS == nil || *ev.TS < 0 {
+				return fmt.Errorf("chrome trace: event %d (%q): counter sample without valid ts", i, ev.Name)
+			}
+			if len(ev.Args) == 0 {
+				return fmt.Errorf("chrome trace: event %d (%q): counter sample without args", i, ev.Name)
 			}
 			if !named[row{*ev.Pid, *ev.Tid}] {
 				return fmt.Errorf("chrome trace: event %d (%q): unnamed row pid=%d tid=%d", i, ev.Name, *ev.Pid, *ev.Tid)

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	lightpc "repro"
+	"repro/internal/energy"
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/report"
@@ -45,6 +46,11 @@ type Scenario struct {
 	// overrides its spec hold-up window when non-zero.
 	PSU    string
 	Holdup sim.Duration
+
+	// Energy attaches per-device joule meters to the platform: the SnG
+	// reports carry per-phase attribution, the registry exports the
+	// meters, and EnergyTable renders the breakdown.
+	Energy bool
 }
 
 // withDefaults fills the zero values with the lightpc-sng defaults.
@@ -103,6 +109,11 @@ type Result struct {
 
 	Tracer   *obs.Tracer
 	Registry *obs.Registry
+
+	// Energy is the platform's meter set (nil unless Scenario.Energy);
+	// Supply is the resolved PSU, whose stored joules bound the Stop run.
+	Energy *energy.Set
+	Supply power.PSU
 }
 
 // SnG executes one instrumented scenario: build the platform, wire the
@@ -116,7 +127,7 @@ func SnG(sc Scenario) (*Result, error) {
 // Prometheus document without name collisions.
 func run(sc Scenario, prefix string) (*Result, error) {
 	sc = sc.withDefaults()
-	_, window, err := sc.window()
+	psu, window, err := sc.window()
 	if err != nil {
 		return nil, err
 	}
@@ -128,14 +139,18 @@ func run(sc Scenario, prefix string) (*Result, error) {
 	cfg.Kernel.UserProcs = sc.UserProcs
 	cfg.Kernel.KernelProcs = sc.KernelProcs
 	cfg.Kernel.Devices = sc.Devices
+	cfg.Energy = sc.Energy
 	p := lightpc.New(cfg)
 
 	res := &Result{
 		Scenario: sc,
 		Tracer:   obs.NewTracer(),
 		Registry: obs.NewRegistry(),
+		Energy:   p.Energy(),
+		Supply:   psu,
 	}
 	p.SnG().Obs = res.Tracer
+	energy.RegisterSet(res.Registry, prefix+"energy_", res.Energy)
 	if ps := p.PSM(); ps != nil {
 		ps.SetTracer(res.Tracer)
 		ps.RegisterMetrics(res.Registry, prefix+"psm_")
@@ -198,6 +213,75 @@ func (res *Result) PhaseTable() string {
 	if res.GoErr != nil {
 		t.Note("Go: %v", res.GoErr)
 	}
+	return t.String()
+}
+
+// EnergyTable renders the run's per-phase per-device joule attribution in
+// milli-joules: one row per SnG phase, one column per metered device with
+// the per-core meters folded into a single "cores" column, plus a hold-up
+// feasibility note checking the Stop path's measured draw against the
+// PSU's stored energy.
+func (res *Result) EnergyTable() string {
+	if res.Energy == nil {
+		return "energy accounting disabled (Scenario.Energy=false)\n"
+	}
+	meters := res.Energy.Meters()
+	// Column layout: non-core meters keep their own column, all core
+	// meters share one, and the row closes with the phase total.
+	cols := []string{"phase"}
+	colOf := make([]int, len(meters))
+	coresCol := -1
+	for i, m := range meters {
+		if strings.HasPrefix(m.Name(), "core") {
+			if coresCol < 0 {
+				coresCol = len(cols)
+				cols = append(cols, "cores mJ")
+			}
+			colOf[i] = coresCol
+			continue
+		}
+		colOf[i] = len(cols)
+		cols = append(cols, m.Name()+" mJ")
+	}
+	cols = append(cols, "total mJ")
+	sc := res.Scenario
+	t := report.New(
+		fmt.Sprintf("SnG energy attribution — %s, seed %d", sc.Kind, sc.Seed), cols...)
+
+	var stopJ float64
+	row := func(prefix string, pe sng.PhaseEnergy) {
+		vals := make([]float64, len(cols))
+		for i, dj := range pe.ByDevice {
+			vals[colOf[i]] += dj.J
+		}
+		cells := make([]string, 0, len(cols))
+		cells = append(cells, prefix+pe.Phase)
+		for _, v := range vals[1 : len(cols)-1] {
+			cells = append(cells, report.F(v*1e3, 4))
+		}
+		cells = append(cells, report.F(pe.J*1e3, 4))
+		t.Add(cells...)
+	}
+	for _, pe := range res.Stop.Energy {
+		row("stop/", pe)
+		stopJ += pe.J
+	}
+	for _, pe := range res.Go.Energy {
+		row("go/", pe)
+	}
+
+	if res.Supply.StoredJ > 0 {
+		verdict := "feasible"
+		if stopJ > res.Supply.StoredJ {
+			verdict = "INFEASIBLE"
+		}
+		t.Note("stop path drew %s mJ of the %s PSU's %s mJ stored (%s) — hold-up %s",
+			report.F(stopJ*1e3, 4), res.Supply.Name,
+			report.F(res.Supply.StoredJ*1e3, 1),
+			report.Pct(stopJ/res.Supply.StoredJ), verdict)
+	}
+	t.Note("cumulative device energy (workload + stop + go): %s mJ",
+		report.F(res.Energy.TotalJ()*1e3, 4))
 	return t.String()
 }
 
@@ -278,6 +362,18 @@ func (s *SweepResult) PhaseTables() string {
 			b.WriteString("\n")
 		}
 		b.WriteString(c.PhaseTable())
+	}
+	return b.String()
+}
+
+// EnergyTables renders every cell's energy table in cell order.
+func (s *SweepResult) EnergyTables() string {
+	var b strings.Builder
+	for i, c := range s.Cells {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(c.EnergyTable())
 	}
 	return b.String()
 }

@@ -147,6 +147,52 @@ func TestSweepParallelismInvariant(t *testing.T) {
 	}
 }
 
+// The energy sweep contract: with meters on, the per-phase joule tables
+// and the exported energy gauges are byte-identical at -j 1 and -j N.
+func TestSweepEnergyParallelismInvariant(t *testing.T) {
+	sc := Scenario{Kind: lightpc.LightPCFull, Workload: "Redis", Energy: true}
+	seeds := []uint64{1, 2, 3, 4}
+	serial, err := Sweep(sc, seeds, 1)
+	if err != nil {
+		t.Fatalf("serial sweep: %v", err)
+	}
+	parallel, err := Sweep(sc, seeds, 4)
+	if err != nil {
+		t.Fatalf("parallel sweep: %v", err)
+	}
+	st, pt := serial.EnergyTables(), parallel.EnergyTables()
+	if st != pt {
+		t.Fatal("sweep energy tables differ between -j 1 and -j 4")
+	}
+	if sp, pp := serial.Prometheus(), parallel.Prometheus(); !bytes.Equal(sp, pp) {
+		t.Fatal("sweep prometheus bytes (incl. energy gauges) differ between -j 1 and -j 4")
+	}
+	for _, want := range []string{"stop/process-stop", "go/boot-check", "hold-up feasible", "_energy_"} {
+		probe := st
+		if want == "_energy_" {
+			probe = string(serial.Prometheus())
+		}
+		if !strings.Contains(probe, want) {
+			t.Fatalf("energy sweep output missing %q", want)
+		}
+	}
+}
+
+// With Scenario.Energy unset the table degrades to an explicit notice and
+// no energy series leak into the exposition.
+func TestEnergyDisabledByDefault(t *testing.T) {
+	res := mustSnG(t, Scenario{Kind: lightpc.LightPCFull, Seed: 1})
+	if res.Energy != nil {
+		t.Fatal("meters built with Scenario.Energy=false")
+	}
+	if !strings.Contains(res.EnergyTable(), "disabled") {
+		t.Fatalf("EnergyTable() = %q, want disabled notice", res.EnergyTable())
+	}
+	if strings.Contains(string(res.Registry.PrometheusBytes()), "_energy_") {
+		t.Fatal("energy series exported with meters off")
+	}
+}
+
 // A workload-bearing scenario exports the CPU reference-stream counters.
 func TestWorkloadMetricsExported(t *testing.T) {
 	res := mustSnG(t, Scenario{Kind: lightpc.LightPCFull, Seed: 1, Workload: "Redis"})

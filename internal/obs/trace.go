@@ -40,6 +40,9 @@ const (
 	KindSpan EventKind = iota
 	// KindInstant is a point event (Chrome phase "i").
 	KindInstant
+	// KindCounterSample is a counter-series sample (Chrome phase "C"):
+	// Name is the counter series, ArgName/Arg carry the sampled value.
+	KindCounterSample
 )
 
 // Event is one recorded trace entry. Name and Cat are expected to be
@@ -246,6 +249,18 @@ func (t *Tracer) InstantArg(at sim.Time, lane Lane, cat, name, argName string, a
 		return
 	}
 	t.push(Event{Start: at, Lane: lane, Kind: KindInstant, Cat: cat, Name: name, ArgName: argName, Arg: arg})
+}
+
+// Counter records one sample of a counter series — Perfetto renders each
+// named series on lane as its own stacked counter track ("C" rows). Arg is
+// the cumulative value at 'at'; argName names the unit/series key.
+//
+//lightpc:zeroalloc
+func (t *Tracer) Counter(at sim.Time, lane Lane, cat, name, argName string, arg int64) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Start: at, Lane: lane, Kind: KindCounterSample, Cat: cat, Name: name, ArgName: argName, Arg: arg})
 }
 
 // Len reports the number of buffered events.

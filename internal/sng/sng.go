@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"repro/internal/energy"
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/psm"
@@ -59,6 +60,19 @@ type SnG struct {
 	// terminal budget-exceeded event when a run burns the hold-up window.
 	// nil (the default) disables tracing at zero cost.
 	Obs *obs.Tracer
+
+	// Energy, when non-nil, is the platform's meter set: Stop and Go
+	// snapshot it at every phase boundary so their reports attribute
+	// joules per phase per device, and (when Obs is enabled) emit
+	// cumulative counter samples onto an "energy" lane. nil (the default)
+	// disables energy attribution at zero cost.
+	Energy *energy.Set
+
+	// CoreEnergy holds one meter per core (index = core id). Stop flips
+	// cores to the offline state as it powers them down; Go brings the
+	// master back active and workers idle. May be nil or shorter than the
+	// core count — missing meters are skipped.
+	CoreEnergy []*energy.Meter
 }
 
 // coreLane names core id's timeline row. Callers guard with Obs.Enabled()
@@ -78,6 +92,61 @@ type PhaseSpan struct {
 	Dur   sim.Duration
 }
 
+// DeviceJ is one device's share of a phase's energy.
+type DeviceJ struct {
+	Device string
+	J      float64
+}
+
+// PhaseEnergy attributes the joules one Stop/Go phase consumed across the
+// platform's metered devices. The devices appear in meter registration
+// order; J is their sum.
+type PhaseEnergy struct {
+	Phase    string
+	J        float64
+	ByDevice []DeviceJ
+}
+
+// phaseEnergy closes one phase's energy window at 'at': it syncs the meter
+// set, diffs against the previous snapshot prev, and returns the phase's
+// attribution plus the new snapshot. When tracing is on it also drops one
+// cumulative counter sample per meter onto the "energy" lane, so Perfetto
+// renders per-device joule staircases aligned with the phase spans.
+func (s *SnG) phaseEnergy(name string, at sim.Time, prev []float64) (PhaseEnergy, []float64) {
+	s.Energy.Sync(at)
+	snap := s.Energy.SnapshotJ()
+	pe := PhaseEnergy{Phase: name, ByDevice: make([]DeviceJ, 0, len(snap))}
+	for i, m := range s.Energy.Meters() {
+		dj := snap[i] - prev[i]
+		pe.J += dj
+		pe.ByDevice = append(pe.ByDevice, DeviceJ{Device: m.Name(), J: dj})
+	}
+	if s.Obs.Enabled() {
+		energy.EmitCounters(s.Obs, at, s.Obs.Lane("energy"), s.Energy)
+	}
+	return pe, snap
+}
+
+// energyEpoch opens a Stop/Go energy window: the run is its own timeline,
+// so every meter's integration origin is rebased to now (no charging), and
+// the returned snapshot is the subtraction baseline for the first phase.
+// Returns nil when energy accounting is off.
+func (s *SnG) energyEpoch(now sim.Time) []float64 {
+	if s.Energy == nil {
+		return nil
+	}
+	s.Energy.Rebase(now)
+	return s.Energy.SnapshotJ()
+}
+
+// coreState flips core id's meter to state st at t (no-op when the core has
+// no meter).
+func (s *SnG) coreState(t sim.Time, id int, st energy.State) {
+	if id < len(s.CoreEnergy) {
+		s.CoreEnergy[id].SetState(t, st)
+	}
+}
+
 // StopReport decomposes one Stop run (Figure 8b).
 type StopReport struct {
 	ProcessStop sim.Duration // Drive-to-Idle
@@ -91,6 +160,10 @@ type StopReport struct {
 	// Phases lists the named phase spans in execution order; their
 	// durations sum to Total.
 	Phases []PhaseSpan
+
+	// Energy attributes joules to each phase (one entry per Phases entry,
+	// same order); nil when the SnG has no meter set attached.
+	Energy []PhaseEnergy
 
 	// Completed reports whether the commit was written before the
 	// deadline.
@@ -152,6 +225,7 @@ func (s *SnG) Stop(now, deadline sim.Time) StopReport {
 	masterLane := tr.Lane("master")
 	run := &stopRun{t: now, deadline: deadline, tr: tr, lane: masterLane}
 	k := s.K
+	esnap := s.energyEpoch(now)
 
 	// ---- Drive-to-Idle -------------------------------------------------
 	run.phase = "process-stop"
@@ -239,6 +313,11 @@ func (s *SnG) Stop(now, deadline sim.Time) StopReport {
 	rep.ProcessStop = run.t.Sub(phaseStart)
 	tr.End(run.t, phaseSpan)
 	rep.Phases = append(rep.Phases, PhaseSpan{"process-stop", phaseStart, rep.ProcessStop})
+	if esnap != nil {
+		var pe PhaseEnergy
+		pe, esnap = s.phaseEnergy("process-stop", run.t, esnap)
+		rep.Energy = append(rep.Energy, pe)
+	}
 
 	// ---- Auto-Stop: stopping devices ------------------------------------
 	run.phase = "device-stop"
@@ -279,6 +358,11 @@ func (s *SnG) Stop(now, deadline sim.Time) StopReport {
 	rep.DeviceStop = run.t.Sub(phaseStart)
 	tr.End(run.t, phaseSpan)
 	rep.Phases = append(rep.Phases, PhaseSpan{"device-stop", phaseStart, rep.DeviceStop})
+	if esnap != nil {
+		var pe PhaseEnergy
+		pe, esnap = s.phaseEnergy("device-stop", run.t, esnap)
+		rep.Energy = append(rep.Energy, pe)
+	}
 
 	// ---- Auto-Stop: drawing the EP-cut ----------------------------------
 	run.phase = "offline"
@@ -310,6 +394,7 @@ func (s *SnG) Stop(now, deadline sim.Time) StopReport {
 			rep.FlushedLines += dirty
 			c.DirtyLines = 0
 			c.Online = false
+			s.coreState(run.t, ci+1, energy.CPUOffline)
 			if tr.Enabled() {
 				tr.SpanArg(offStart, run.t, coreLane(tr, ci+1),
 					"sng", "offline", "flushed_lines", int64(dirty))
@@ -345,6 +430,7 @@ func (s *SnG) Stop(now, deadline sim.Time) StopReport {
 					if run.spend(s.T.BCBWrite) {
 						k.Boot.Commit()
 						master.Online = false
+						s.coreState(run.t, 0, energy.CPUOffline)
 						rep.Completed = true
 						tr.Instant(run.t, run.lane, "sng", "commit")
 					}
@@ -355,6 +441,10 @@ func (s *SnG) Stop(now, deadline sim.Time) StopReport {
 	rep.Offline = run.t.Sub(phaseStart)
 	tr.End(run.t, phaseSpan)
 	rep.Phases = append(rep.Phases, PhaseSpan{"offline", phaseStart, rep.Offline})
+	if esnap != nil {
+		pe, _ := s.phaseEnergy("offline", run.t, esnap)
+		rep.Energy = append(rep.Energy, pe)
+	}
 	rep.Total = rep.ProcessStop + rep.DeviceStop + rep.Offline
 	rep.OverrunPhase = run.overrun
 	return rep
@@ -372,6 +462,10 @@ type GoReport struct {
 	// durations sum to Total.
 	Phases []PhaseSpan
 
+	// Energy attributes joules to each phase (one entry per Phases entry,
+	// same order); nil when the SnG has no meter set attached.
+	Energy []PhaseEnergy
+
 	ResumedTasks   int
 	ResumedDevices int
 }
@@ -385,6 +479,7 @@ func (s *SnG) Go(now sim.Time) (GoReport, error) {
 	tr := s.Obs
 	masterLane := tr.Lane("master")
 	t := now
+	esnap := s.energyEpoch(now)
 
 	// Phase 0: bootloader checks the Stop commit.
 	bootSpan := tr.Begin(now, masterLane, "sng", "boot-check")
@@ -393,6 +488,10 @@ func (s *SnG) Go(now sim.Time) (GoReport, error) {
 		rep.BootCheck = t.Sub(now)
 		tr.End(t, bootSpan)
 		rep.Phases = append(rep.Phases, PhaseSpan{"boot-check", now, rep.BootCheck})
+		if esnap != nil {
+			pe, _ := s.phaseEnergy("boot-check", t, esnap)
+			rep.Energy = append(rep.Energy, pe)
+		}
 		rep.Total = rep.BootCheck
 		return rep, ErrNoCommit
 	}
@@ -400,6 +499,7 @@ func (s *SnG) Go(now sim.Time) (GoReport, error) {
 	t = t.Add(s.T.BCBRestore)
 	master := k.Cores[0]
 	master.Online = true
+	s.coreState(t, 0, energy.CPUActive)
 	k.Boot.RestoreCoreRegisters(master)
 	if mepc := k.Boot.MEPC(); mepc != epCutPC {
 		return rep, fmt.Errorf("sng: corrupt BCB: MEPC %#x", mepc)
@@ -407,6 +507,11 @@ func (s *SnG) Go(now sim.Time) (GoReport, error) {
 	rep.BootCheck = t.Sub(now)
 	tr.End(t, bootSpan)
 	rep.Phases = append(rep.Phases, PhaseSpan{"boot-check", now, rep.BootCheck})
+	if esnap != nil {
+		var pe PhaseEnergy
+		pe, esnap = s.phaseEnergy("boot-check", t, esnap)
+		rep.Energy = append(rep.Energy, pe)
+	}
 
 	// Phase 1: power workers up one by one; they wait on the task
 	// pointers until the master hands them the idle task.
@@ -420,6 +525,7 @@ func (s *SnG) Go(now sim.Time) (GoReport, error) {
 		c.KTaskPtr = 0xCAFE0000 + uint64(c.ID)
 		c.KStackPtr = 0xBEEF0000 + uint64(c.ID)
 		c.Idle = true
+		s.coreState(t, ci+1, energy.CPUIdle)
 		if tr.Enabled() {
 			tr.Span(up, t, coreLane(tr, ci+1), "sng", "bring-up")
 		}
@@ -427,6 +533,11 @@ func (s *SnG) Go(now sim.Time) (GoReport, error) {
 	rep.CoreBringUp = t.Sub(phase)
 	tr.End(t, phaseSpan)
 	rep.Phases = append(rep.Phases, PhaseSpan{"core-bring-up", phase, rep.CoreBringUp})
+	if esnap != nil {
+		var pe PhaseEnergy
+		pe, esnap = s.phaseEnergy("core-bring-up", t, esnap)
+		rep.Energy = append(rep.Energy, pe)
+	}
 
 	// Phase 2: revive devices in inverse dpm order.
 	phase = t
@@ -454,6 +565,11 @@ func (s *SnG) Go(now sim.Time) (GoReport, error) {
 	rep.DeviceResume = t.Sub(phase)
 	tr.End(t, phaseSpan)
 	rep.Phases = append(rep.Phases, PhaseSpan{"device-resume", phase, rep.DeviceResume})
+	if esnap != nil {
+		var pe PhaseEnergy
+		pe, esnap = s.phaseEnergy("device-resume", t, esnap)
+		rep.Energy = append(rep.Energy, pe)
+	}
 
 	// Phase 3: restore wear-leveler state, flush TLBs, requeue tasks
 	// (kernel threads first, then user), and schedule.
@@ -500,6 +616,10 @@ func (s *SnG) Go(now sim.Time) (GoReport, error) {
 	rep.ProcessResume = t.Sub(phase)
 	tr.End(t, phaseSpan)
 	rep.Phases = append(rep.Phases, PhaseSpan{"process-resume", phase, rep.ProcessResume})
+	if esnap != nil {
+		pe, _ := s.phaseEnergy("process-resume", t, esnap)
+		rep.Energy = append(rep.Energy, pe)
+	}
 	rep.Total = t.Sub(now)
 	return rep, nil
 }

@@ -32,6 +32,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/energy"
 	"repro/internal/kernel"
 	"repro/internal/memctrl"
 	"repro/internal/power"
@@ -85,6 +86,11 @@ type Config struct {
 	// (results scale linearly; larger = smoother, slower).
 	SampleOps uint64
 	Seed      uint64
+
+	// Energy attaches per-device joule meters (internal/energy) to the
+	// whole stack. Off by default: disabled meters are nil and cost the
+	// hot paths nothing, and every existing output stays byte-identical.
+	Energy bool
 }
 
 // DefaultConfig mirrors Table I for the given kind.
@@ -122,6 +128,9 @@ type Platform struct {
 
 	kern *kernel.Kernel
 	sng  *sng.SnG
+
+	energy *energy.Set     // nil unless cfg.Energy
+	coreM  []*energy.Meter // per-core meters (subset of energy)
 }
 
 // New builds the platform.
@@ -140,11 +149,32 @@ func New(cfg Config) *Platform {
 	default:
 		panic(fmt.Sprintf("lightpc: unknown kind %v", cfg.Kind))
 	}
+	if cfg.Energy {
+		p.energy = energy.NewSet()
+		switch cfg.Kind {
+		case LegacyPC:
+			ctrlM := p.energy.Add(energy.NewMeter("memctrl", energy.DRAMCtrlSpec(cfg.Power)))
+			dimmM := p.energy.Add(energy.NewMeter("dram", energy.DRAMArraySpec(cfg.Power, cfg.DRAMs)))
+			p.dramC.SetEnergy(ctrlM, dimmM)
+		default:
+			psmM := p.energy.Add(energy.NewMeter("psm", energy.PSMSpec(cfg.Power)))
+			pramM := p.energy.Add(energy.NewMeter("pram", energy.PRAMArraySpec(cfg.Power, cfg.PSM.DIMMs)))
+			p.psm.SetEnergy(psmM, pramM)
+		}
+		for i := 0; i < cfg.CPU.Cores; i++ {
+			m := energy.NewMeter(fmt.Sprintf("core%d", i), energy.CPUCoreSpec(cfg.Power))
+			p.energy.Add(m)
+			p.coreM = append(p.coreM, m)
+		}
+		p.cfg.CPU.Energy = p.coreM
+	}
 	kc := cfg.Kernel
 	kc.Seed = cfg.Seed
 	p.kern = kernel.New(kc)
 	p.sng = sng.New(p.kern)
 	p.sng.P = p.psm // nil for LegacyPC
+	p.sng.Energy = p.energy
+	p.sng.CoreEnergy = p.coreM
 	return p
 }
 
@@ -182,6 +212,9 @@ func (p *Platform) Kernel() *kernel.Kernel { return p.kern }
 // SnG exposes the Stop-and-Go mechanism.
 func (p *Platform) SnG() *sng.SnG { return p.sng }
 
+// Energy exposes the per-device meter set (nil unless Config.Energy).
+func (p *Platform) Energy() *energy.Set { return p.energy }
+
 // RunResult is one workload execution plus its power/energy accounting.
 type RunResult struct {
 	cpu.Result
@@ -218,7 +251,13 @@ func (p *Platform) Run(spec workload.Spec) RunResult {
 
 // RunGenerators executes arbitrary generators (one per core).
 func (p *Platform) RunGenerators(name string, gens []workload.Generator, multi bool) RunResult {
+	// Each run is its own timeline starting at 0: rebase the device meters
+	// so an earlier Stop/Go epoch cannot leak into this run's window, then
+	// integrate them over the elapsed wall-clock (cpu.Run syncs the core
+	// meters itself).
+	p.energy.Rebase(0)
 	res := cpu.Run(p.cfg.CPU, 0, gens, p.backend)
+	p.energy.Sync(sim.Time(0).Add(res.Elapsed))
 	active := len(gens)
 	if active > p.cfg.CPU.Cores {
 		active = p.cfg.CPU.Cores
@@ -260,4 +299,6 @@ func (p *Platform) ColdBoot() {
 	p.kern = kernel.NewWithBank(kc, p.kern.OCPMEM)
 	p.sng = sng.New(p.kern)
 	p.sng.P = p.psm
+	p.sng.Energy = p.energy
+	p.sng.CoreEnergy = p.coreM
 }
