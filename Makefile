@@ -80,6 +80,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sim -run='^$$' -fuzz=FuzzParallelDispatch -fuzztime=2s
 	$(GO) test ./internal/linetab -run='^$$' -fuzz=FuzzLineTab -fuzztime=2s
 	$(GO) test ./internal/crashpoint -run='^$$' -fuzz=FuzzCrashCut -fuzztime=2s
+	$(GO) test ./internal/crashpoint -run='^$$' -fuzz=FuzzForkCut -fuzztime=2s
 
 # obs-smoke: run one instrumented SnG scenario and a 4-seed sweep through
 # lightpc-obs, then re-validate every artifact with the built-in schema

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/crashpoint"
 	"repro/internal/experiments"
 )
 
@@ -58,6 +59,14 @@ type seed struct {
 	PDESParallelMs float64 `json:"pdes_parallel_ms"`
 	PDESSpeedupX   float64 `json:"pdes_speedup_x"`
 
+	// The snapshot axis: one crash-sweep cell with a fresh Build per cut
+	// (the historical cell) vs one Build forked per cut (the shipping
+	// cell). Orthogonal to -j/-p: this is single-cell wall time, the win
+	// every sweep worker gets regardless of fan-out.
+	SweepRebuildMs float64 `json:"sweep_rebuild_ms"`
+	SweepForkMs    float64 `json:"sweep_fork_ms"`
+	SweepSpeedupX  float64 `json:"sweep_speedup_x"`
+
 	Benches []benchLine `json:"benches"`
 }
 
@@ -82,6 +91,54 @@ func timePDES(par int) (float64, string) {
 	start := time.Now()
 	_, tbl := experiments.PDES(o)
 	return float64(time.Since(start).Microseconds()) / 1000, tbl.String()
+}
+
+// timeSweep runs one crash-sweep cell both ways — a fresh Build for every
+// cut offset, then one Build forked per cut — and returns both wall-clocks
+// plus each path's concatenated CutOutcome JSON (checked for byte-equality;
+// a fork that diverged from a rebuild would make the speedup meaningless).
+func timeSweep() (rebuildMs, forkMs float64, rebuildOut, forkOut string, err error) {
+	sc := crashpoint.Scenario{Seed: 1, Workload: "Redis", AppOps: 2000}
+	const label, fuzz = "benchseed/sweep", 4
+
+	render := func(outs []crashpoint.CutOutcome) (string, error) {
+		j, err := json.Marshal(outs)
+		return string(j), err
+	}
+
+	start := time.Now()
+	ref, err := crashpoint.Build(sc)
+	if err != nil {
+		return 0, 0, "", "", err
+	}
+	offsets := crashpoint.CellOffsets(ref, label, fuzz)
+	var outs []crashpoint.CutOutcome
+	for _, off := range offsets {
+		s, err := crashpoint.Build(sc)
+		if err != nil {
+			return 0, 0, "", "", err
+		}
+		outs = append(outs, s.CutAt(off))
+	}
+	rebuildMs = float64(time.Since(start).Microseconds()) / 1000
+	if rebuildOut, err = render(outs); err != nil {
+		return 0, 0, "", "", err
+	}
+
+	start = time.Now()
+	base, err := crashpoint.Build(sc)
+	if err != nil {
+		return 0, 0, "", "", err
+	}
+	outs = outs[:0]
+	for _, off := range crashpoint.CellOffsets(base, label, fuzz) {
+		outs = append(outs, base.Fork().CutAt(off))
+	}
+	forkMs = float64(time.Since(start).Microseconds()) / 1000
+	if forkOut, err = render(outs); err != nil {
+		return 0, 0, "", "", err
+	}
+	return rebuildMs, forkMs, rebuildOut, forkOut, nil
 }
 
 // parseBench extracts "Benchmark..." result lines: name, ns/op, and any
@@ -146,6 +203,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	sweepRebuildMs, sweepForkMs, sweepRebuildOut, sweepForkOut, err := timeSweep()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lightpc-benchseed: sweep cell: %v\n", err)
+		os.Exit(1)
+	}
+	if sweepRebuildOut != sweepForkOut {
+		fmt.Fprintln(os.Stderr, "lightpc-benchseed: rebuild and fork sweep outcomes diverged")
+		os.Exit(1)
+	}
+
 	s := seed{
 		GoVersion:      runtime.Version(),
 		NumCPU:         runtime.NumCPU(),
@@ -156,6 +223,9 @@ func main() {
 		PDESSerialMs:   pdesSerialMs,
 		PDESParallelMs: pdesParMs,
 		PDESSpeedupX:   pdesSerialMs / pdesParMs,
+		SweepRebuildMs: sweepRebuildMs,
+		SweepForkMs:    sweepForkMs,
+		SweepSpeedupX:  sweepRebuildMs / sweepForkMs,
 	}
 
 	// Root package: one iteration per figure benchmark (they run whole
@@ -167,7 +237,9 @@ func main() {
 	// Get/Set/Flight paths are also pinned at 0 allocs/op.
 	// internal/energy: the meter charge paths — the disabled (nil) meter
 	// benches are pinned at 0 allocs/op like the disabled obs instruments.
-	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchtime=1x", "-benchmem", "-count=1", ".", "./internal/sim", "./internal/obs", "./internal/linetab", "./internal/energy")
+	// internal/linetab also carries the per-table Clone microbenches, and
+	// internal/crashpoint the fork-vs-rebuild sweep-cell comparison.
+	cmd := exec.Command("go", "test", "-run=^$", "-bench=.", "-benchtime=1x", "-benchmem", "-count=1", ".", "./internal/sim", "./internal/obs", "./internal/linetab", "./internal/energy", "./internal/crashpoint")
 	// The bench subprocess must also see the real core count, both so the
 	// parallel benches (which skip below 2) get their chance and so the
 	// "-N" name suffix matches what parseBench strips.
@@ -193,9 +265,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lightpc-benchseed: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: %d benches on %d CPU(s), suite %.0fms serial / %.0fms at -j %d (%.2fx), pdes %.0fms serial / %.0fms at -p %d (%.2fx)\n",
+	fmt.Printf("wrote %s: %d benches on %d CPU(s), suite %.0fms serial / %.0fms at -j %d (%.2fx), pdes %.0fms serial / %.0fms at -p %d (%.2fx), sweep cell %.0fms rebuilt / %.0fms forked (%.2fx)\n",
 		*out, len(s.Benches), s.NumCPU, s.SerialMs, s.ParallelMs, s.GOMAXPROCS, s.SpeedupX,
-		s.PDESSerialMs, s.PDESParallelMs, s.GOMAXPROCS, s.PDESSpeedupX)
+		s.PDESSerialMs, s.PDESParallelMs, s.GOMAXPROCS, s.PDESSpeedupX,
+		s.SweepRebuildMs, s.SweepForkMs, s.SweepSpeedupX)
 	if s.NumCPU < 2 {
 		fmt.Println("note: single-CPU host — the -j and -p speedups above are nominal, not evidence of scaling")
 	}

@@ -1,0 +1,23 @@
+package cache
+
+import "slices"
+
+// Clone returns a deep copy of the cache's tag/LRU state over the given
+// backend — the backend itself belongs to whoever forked it (a cloned
+// cache must see the clone's memory, not the source's). The energy meter
+// pointer is carried over; platform forks rewire it via SetMeter.
+func (c *Cache) Clone(backend Backend) *Cache {
+	out := &Cache{
+		cfg:     c.cfg,
+		nsets:   c.nsets,
+		backend: backend,
+		stamp:   c.stamp,
+		stats:   c.stats,
+		em:      c.em,
+	}
+	out.sets = make([][]way, len(c.sets))
+	for i, s := range c.sets {
+		out.sets[i] = slices.Clone(s)
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// TestCloneCompleteness pins Cache's field list against Clone(backend): a
+// new mutable field fails here until the clone handles it. (way is a value
+// type copied wholesale by the per-set slices.Clone.)
+func TestCloneCompleteness(t *testing.T) {
+	snapshot.CheckCovered(t, Cache{},
+		"cfg", "sets", "nsets", "backend", "stamp", "stats", "em")
+	snapshot.CheckCovered(t, way{}, "tag", "valid", "dirty", "lru")
+}

@@ -20,6 +20,7 @@ import (
 // core: invariant.go, recorder.go, and poolcheck.go need only these.
 var acceptanceClosure = []string{
 	"internal/sim",
+	"internal/snapshot",
 	"internal/trace",
 	"internal/obs",
 	"internal/power",

@@ -64,45 +64,39 @@ func (r BisectReport) JSON() []byte {
 }
 
 // Bisect binary-searches the hold-up window of the scenario for the commit
-// instant: the minimal cut offset at which SnG's Stop completes. Every
-// probe builds a fresh same-seed System (a cut consumes it), so the search
-// is deterministic and each probe's invariants are checked as it runs.
+// instant: the minimal cut offset at which SnG's Stop completes. The
+// scenario's System is built once; every probe cuts a fresh fork of it (a
+// cut consumes its system), so the search is deterministic and each
+// probe's invariants are checked as it runs.
 //
 // The search space is seeded from the reference run's phase timeline: no
 // cut before the offline phase begins can possibly commit, so the lower
 // bound starts there rather than at zero.
 func Bisect(sc Scenario) (BisectReport, error) {
-	probe := func(offset sim.Duration) (CutOutcome, error) {
-		s, err := Build(sc)
-		if err != nil {
-			return CutOutcome{}, err
-		}
-		return s.CutAt(offset), nil
-	}
-
-	// Reference run: the full window.
-	ref, err := Build(sc)
+	base, err := Build(sc)
 	if err != nil {
 		return BisectReport{}, err
 	}
-	rep := BisectReport{
-		Scenario: ref.Scenario.Workload,
-		WindowPs: int64(ref.Window),
+	probe := func(offset sim.Duration) CutOutcome {
+		return base.Fork().CutAt(offset)
 	}
-	window := ref.Window
-	full := ref.CutAt(window)
+
+	rep := BisectReport{
+		Scenario: base.Scenario.Workload,
+		WindowPs: int64(base.Window),
+	}
+	window := base.Window
+
+	// Reference run: the full window.
+	full := probe(window)
 	rep.Violations = append(rep.Violations, full.Violations...)
 	rep.FullStopTotalPs = full.StopTotalPs
 	rep.Probes = append(rep.Probes, BisectProbe{int64(window), full.Completed})
 
 	// The phase decomposition comes from an unconstrained Stop on another
-	// fresh system (the full-window run's phases are identical when it
-	// completes, but the overrun case still needs the true shape).
-	shape, err := Build(sc)
-	if err != nil {
-		return BisectReport{}, err
-	}
-	stopRep := shape.Platform.SnG().Stop(0, sim.Time(1<<62))
+	// fork (the full-window run's phases are identical when it completes,
+	// but the overrun case still needs the true shape).
+	stopRep := base.Fork().Platform.SnG().Stop(0, sim.Time(1<<62))
 	for _, ph := range stopRep.Phases {
 		rep.Phases = append(rep.Phases, BisectPhase{ph.Name, int64(ph.Start), int64(ph.Dur)})
 	}
@@ -124,10 +118,7 @@ func Bisect(sc Scenario) (BisectReport, error) {
 		last := stopRep.Phases[n-1]
 		if off := sim.Duration(last.Start); off > 0 && off < window {
 			lo = off
-			out, err := probe(lo)
-			if err != nil {
-				return rep, err
-			}
+			out := probe(lo)
 			rep.Probes = append(rep.Probes, BisectProbe{int64(lo), out.Completed})
 			rep.Violations = append(rep.Violations, out.Violations...)
 			if out.Completed {
@@ -141,10 +132,7 @@ func Bisect(sc Scenario) (BisectReport, error) {
 	hi := window
 	for lo+1 < hi {
 		mid := lo + (hi-lo)/2
-		out, err := probe(mid)
-		if err != nil {
-			return rep, err
-		}
+		out := probe(mid)
 		rep.Probes = append(rep.Probes, BisectProbe{int64(mid), out.Completed})
 		rep.Violations = append(rep.Violations, out.Violations...)
 		if out.Completed {

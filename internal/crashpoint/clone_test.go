@@ -1,0 +1,23 @@
+package crashpoint
+
+import (
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// TestForkCompleteness pins System's (and its capture structs') field
+// lists against System.Fork: a new mutable field fails here until the
+// fork handles it. (sysRegion.reg is deliberately nil on forks — CutAt
+// never consults it, and re-registering would mutate the very bank state
+// the cut judges.)
+func TestForkCompleteness(t *testing.T) {
+	snapshot.CheckCovered(t, System{},
+		"Scenario", "Platform", "Window",
+		"journal", "pool", "poolObj", "ckpt", "shadow", "pre")
+	snapshot.CheckCovered(t, sysRegion{}, "name", "live", "reg", "committed")
+	snapshot.CheckCovered(t, sysShadow{},
+		"jCommitted", "jStaged", "pool", "poolStaged", "poolOpen", "lines")
+	snapshot.CheckCovered(t, preState{},
+		"appChecksum", "coreMRegs", "devContext", "devMMIO", "aliveCount")
+}

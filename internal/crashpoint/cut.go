@@ -161,7 +161,7 @@ func (s *System) checkKernelRestored(label string, out *CutOutcome, rep sng.GoRe
 func (s *System) checkAppRecovered(label string, out *CutOutcome) {
 	// WAL store: replay must surface exactly the committed map.
 	s.journal.Crash()
-	s.journal.Recover(0)
+	s.journal.RecoverState()
 	if got, want := s.journal.Len(), len(s.shadow.jCommitted); got != want {
 		out.report(label, InvTornCommit, "journal recovered %d keys, committed %d", got, want)
 	}

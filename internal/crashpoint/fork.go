@@ -1,0 +1,73 @@
+package crashpoint
+
+import (
+	"slices"
+
+	"repro/internal/pmdk"
+)
+
+// Fork returns an independent copy of the built system, ready for its own
+// CutAt: the platform is deep-forked (lightpc.Platform.Fork), the WAL store
+// and its block device are cloned, the pool handle re-attaches to the
+// fork's OC-PMEM without running recovery (the staged residue transaction
+// must survive into the fork exactly as Build left it), and the shadow
+// model, checkpoint-region shadows, and pre-cut capture are deep-copied.
+//
+// Forking replaces rebuilding: Build(sc) once, then Fork per cut, and every
+// forked CutAt outcome is byte-identical to cutting a freshly built
+// same-scenario system (pinned by TestForkVsRebuildEquivalence).
+//
+// The fork carries no checkpoint.Region handles: CutAt re-registers against
+// the forked bank itself, and re-registering from here would mutate bank
+// state the cut is about to judge. The ckpt entries keep only their shadow
+// data (name, live, committed).
+func (s *System) Fork() *System {
+	p := s.Platform.Fork()
+	out := &System{
+		Scenario: s.Scenario,
+		Platform: p,
+		Window:   s.Window,
+		journal:  s.journal.Clone(),
+		pool:     pmdk.Attach(p.Kernel().OCPMEM),
+		poolObj:  s.poolObj,
+		shadow: sysShadow{
+			jCommitted: cloneWordMap(s.shadow.jCommitted),
+			jStaged:    cloneWordMap(s.shadow.jStaged),
+			pool:       slices.Clone(s.shadow.pool),
+			poolStaged: slices.Clone(s.shadow.poolStaged),
+			poolOpen:   s.shadow.poolOpen,
+			lines:      cloneLineMap(s.shadow.lines),
+		},
+		pre: preState{
+			appChecksum: s.pre.appChecksum,
+			coreMRegs:   slices.Clone(s.pre.coreMRegs),
+			devContext:  slices.Clone(s.pre.devContext),
+			devMMIO:     slices.Clone(s.pre.devMMIO),
+			aliveCount:  s.pre.aliveCount,
+		},
+	}
+	for _, r := range s.ckpt {
+		out.ckpt = append(out.ckpt, &sysRegion{
+			name:      r.name,
+			live:      slices.Clone(r.live),
+			committed: slices.Clone(r.committed),
+		})
+	}
+	return out
+}
+
+func cloneWordMap(m map[uint64]uint64) map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneLineMap(m map[uint64][]byte) map[uint64][]byte {
+	out := make(map[uint64][]byte, len(m))
+	for k, v := range m {
+		out[k] = slices.Clone(v)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package crashpoint
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// FuzzForkCut throws arbitrary (seed, offset, workload, commit-size)
+// tuples at the fork path and compares it against the rebuild path:
+// whatever the fuzzer picks, cutting a fork of a built system must yield a
+// byte-identical CutOutcome to cutting a freshly built same-scenario
+// system. Any finding is a hole in some device's Clone — mutable state the
+// fork failed to copy (or wrongly shared).
+func FuzzForkCut(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(5))
+	f.Add(uint64(2), uint64(1), uint64(1), uint64(1))
+	f.Add(uint64(3), uint64(1<<20), uint64(2), uint64(3))
+	f.Add(uint64(7), ^uint64(0), uint64(3), uint64(9))
+	f.Fuzz(func(t *testing.T, seed, cutPs, wlIdx, opsPerCommit uint64) {
+		specs := workload.Table2()
+		sc := Scenario{
+			Seed:         seed%1024 + 1,
+			Cores:        2,
+			UserProcs:    6,
+			KernelProcs:  4,
+			Devices:      10,
+			Ticks:        2,
+			Workload:     specs[wlIdx%uint64(len(specs))].Name,
+			AppOps:       32,
+			OpsPerCommit: int(opsPerCommit%8) + 1,
+		}
+		base, err := Build(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offset := sim.Duration(cutPs % (uint64(base.Window) + 1))
+		forked, err := json.Marshal(base.Fork().CutAt(offset))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilt, err := Build(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(rebuilt.CutAt(offset))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(forked) != string(want) {
+			t.Fatalf("cut at %v (seed %d, %s): forked != rebuilt\nforked:  %s\nrebuilt: %s",
+				offset, sc.Seed, sc.Workload, forked, want)
+		}
+	})
+}

@@ -61,7 +61,7 @@ func CheckJournal(seed uint64, ops int) []Violation {
 			}
 		}
 		s.Crash()
-		s.Recover(0)
+		s.RecoverState()
 
 		if got, want := s.Len(), len(committed); got != want {
 			out = append(out, violationf(label, InvTornCommit,

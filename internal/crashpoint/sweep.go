@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/sng"
 )
 
 // SweepConfig shapes a cut-matrix sweep: every (workload, seed) cell gets a
@@ -52,18 +53,20 @@ func (r SweepReport) JSON() []byte {
 	return append(b, '\n')
 }
 
-// cellOffsets builds the cut grid for one cell: the stratified instants a
-// reference run exposes (phase starts, phase midpoints, the instants just
-// around the commit, the window itself) plus seeded fuzz offsets derived
-// from the cell label alone — never from scheduling.
-func cellOffsets(label string, sc Scenario, fuzz int) ([]sim.Duration, error) {
-	ref, err := Build(sc)
-	if err != nil {
-		return nil, err
-	}
-	window := ref.Window
-	stopRep := ref.Platform.SnG().Stop(0, sim.Time(1<<62))
+// CellOffsets derives the cut grid for one cell from its already-built
+// system: the stratified instants a reference Stop exposes (phase starts,
+// phase midpoints, the instants just around the commit, the window itself)
+// plus seeded fuzz offsets derived from the cell label alone — never from
+// scheduling. The reference Stop consumes a fork of base, not base itself,
+// so the same built system then feeds every cut.
+func CellOffsets(base *System, label string, fuzz int) []sim.Duration {
+	stopRep := base.Fork().Platform.SnG().Stop(0, sim.Time(1<<62))
+	return gridFromStop(base.Scenario, label, fuzz, base.Window, stopRep)
+}
 
+// gridFromStop turns one reference Stop report into the stratified+fuzzed
+// offset grid.
+func gridFromStop(sc Scenario, label string, fuzz int, window sim.Duration, stopRep sng.StopReport) []sim.Duration {
 	set := map[sim.Duration]struct{}{0: {}, window: {}}
 	add := func(d sim.Duration) {
 		if d >= 0 && d <= window {
@@ -89,12 +92,13 @@ func cellOffsets(label string, sc Scenario, fuzz int) ([]sim.Duration, error) {
 		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	return out
 }
 
 // Sweep fans the cut matrix over the runner pool: one cell per (workload,
-// seed), each cell cutting a fresh same-seed System at every offset in its
-// grid. Cells share no state and derive all randomness from their labels,
+// seed), each cell building its System once and forking it for every offset
+// in its grid (a cut consumes its system, so each offset gets a fresh
+// fork). Cells share no state and derive all randomness from their labels,
 // so the merged report is byte-identical at any parallelism.
 func Sweep(cfg SweepConfig) (SweepReport, error) {
 	if len(cfg.Workloads) == 0 {
@@ -128,17 +132,14 @@ func Sweep(cfg SweepConfig) (SweepReport, error) {
 	results := runner.Map(runner.Pool{Workers: cfg.Jobs}, cells,
 		func(_ int, c cellIn) string { return c.label },
 		func(label string, c cellIn) cellOut {
-			offsets, err := cellOffsets(label, c.sc, cfg.CutsPerCell)
+			base, err := Build(c.sc)
 			if err != nil {
 				return cellOut{err: err}
 			}
+			offsets := CellOffsets(base, label, cfg.CutsPerCell)
 			res := CellResult{Label: label, Workload: c.sc.Workload, Seed: c.sc.withDefaults().Seed}
 			for _, off := range offsets {
-				s, err := Build(c.sc)
-				if err != nil {
-					return cellOut{err: err}
-				}
-				out := s.CutAt(off)
+				out := base.Fork().CutAt(off)
 				res.Violations += len(out.Violations)
 				res.Cuts = append(res.Cuts, out)
 			}

@@ -1,0 +1,34 @@
+package energy
+
+import "slices"
+
+// Clone returns a deep copy of the meter's accumulators. The Spec is shared
+// (immutable by contract). A nil meter clones to nil — disabled stays
+// disabled.
+func (m *Meter) Clone() *Meter {
+	if m == nil {
+		return nil
+	}
+	return &Meter{
+		name:     m.name,
+		spec:     m.spec,
+		opCount:  slices.Clone(m.opCount),
+		stateDur: slices.Clone(m.stateDur),
+		state:    m.state,
+		since:    m.since,
+	}
+}
+
+// Clone returns a deep copy of the set: every meter is cloned in
+// registration order, so Lookup and SnapshotJ behave identically on both
+// sides. A nil set clones to nil.
+func (s *Set) Clone() *Set {
+	if s == nil {
+		return nil
+	}
+	out := &Set{meters: make([]*Meter, len(s.meters))}
+	for i, m := range s.meters {
+		out.meters[i] = m.Clone()
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// TestCloneCompleteness pins Meter and Set field lists against their
+// Clones: a new mutable field fails here until the clone handles it.
+// (spec is immutable and deliberately shared.)
+func TestCloneCompleteness(t *testing.T) {
+	snapshot.CheckCovered(t, Meter{},
+		"name", "spec", "opCount", "stateDur", "state", "since")
+	snapshot.CheckCovered(t, Set{}, "meters")
+}

@@ -1,0 +1,30 @@
+package journal
+
+import "slices"
+
+// Clone returns a deep copy of the store — volatile memory, the WAL, the
+// home image, checkpoint cursor, and the block device underneath — so a
+// forked system can crash and recover its copy without disturbing the
+// source.
+func (s *Store) Clone() *Store {
+	mem := make(map[uint64]uint64, len(s.mem))
+	for k, v := range s.mem {
+		mem[k] = v
+	}
+	home := make(map[uint64]uint64, len(s.home))
+	for k, v := range s.home {
+		home[k] = v
+	}
+	return &Store{
+		dev:         s.dev.Clone(),
+		mem:         mem,
+		log:         slices.Clone(s.log),
+		committed:   s.committed,
+		home:        home,
+		ckptPos:     s.ckptPos,
+		nextLBA:     s.nextLBA,
+		appends:     s.appends,
+		barriers:    s.barriers,
+		checkpoints: s.checkpoints,
+	}
+}

@@ -1,0 +1,17 @@
+package journal
+
+import (
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// TestCloneCompleteness pins Store's field list against Clone: a new
+// mutable field fails here until the clone handles it. (logRecord is a
+// value type copied wholesale by slices.Clone.)
+func TestCloneCompleteness(t *testing.T) {
+	snapshot.CheckCovered(t, Store{},
+		"dev", "mem", "log", "committed", "home",
+		"ckptPos", "nextLBA", "appends", "barriers", "checkpoints")
+	snapshot.CheckCovered(t, logRecord{}, "key", "value", "commit")
+}

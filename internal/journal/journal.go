@@ -161,14 +161,25 @@ func (s *Store) Crash() {
 // persistence makes unnecessary. Returns the completion time.
 func (s *Store) Recover(now sim.Time) sim.Time {
 	t := now
+	s.RecoverState()
+	for range s.log {
+		t = s.dev.ReadSector(t, s.nextLBA%1024)
+	}
+	return t
+}
+
+// RecoverState replays the home image and committed log into memory
+// without walking the device timing model. The recovered map is identical
+// to Recover's; callers that discard the returned time — the crash-point
+// cut path replays once per cut purely as an integrity check — skip the
+// simulated sector reads entirely.
+func (s *Store) RecoverState() {
 	for k, v := range s.home {
 		s.mem[k] = v
 	}
 	for _, r := range s.log {
 		s.mem[r.key] = r.value
-		t = s.dev.ReadSector(t, s.nextLBA%1024)
 	}
-	return t
 }
 
 // Stats reports log appends, barriers, and checkpoints.

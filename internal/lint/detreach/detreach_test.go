@@ -8,5 +8,5 @@ import (
 )
 
 func TestDetreach(t *testing.T) {
-	linttest.Run(t, "testdata", detreach.Analyzer, "impuredep", "internal/app")
+	linttest.Run(t, "testdata", detreach.Analyzer, "impuredep", "internal/app", "internal/snapfork")
 }

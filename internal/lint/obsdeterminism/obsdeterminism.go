@@ -21,9 +21,12 @@
 // the contract. internal/energy is held to the same bar: its joule
 // figures feed the same exported artifacts (Prometheus gauges, Chrome
 // counter lanes, report tables locked by goldens), so a clock read or a
-// ranged map there corrupts the same bytes one layer earlier. There is
-// no exception today; if one ever appears it must carry a reasoned
-// directive:
+// ranged map there corrupts the same bytes one layer earlier.
+// internal/snapshot joins them for the same reason from the other side:
+// its fork accountant feeds obs counters that sweeps assert byte-identical
+// at every -j level, so its sums must be order-insensitive and free of
+// host-clock stamps. There is no exception today; if one ever appears it
+// must carry a reasoned directive:
 //
 //	for k := range m { //lint:allow obsdeterminism commutative fold, never exported
 package obsdeterminism
@@ -39,7 +42,7 @@ import (
 // Analyzer is the obsdeterminism pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "obsdeterminism",
-	Doc:  "forbid wall-clock reads and map iteration in internal/obs and internal/energy; exported bytes must be a pure function of sim time",
+	Doc:  "forbid wall-clock reads and map iteration in internal/obs, internal/energy, and internal/snapshot; exported bytes must be a pure function of sim time",
 	Run:  run,
 }
 
@@ -53,10 +56,11 @@ var clockReads = map[string]bool{
 }
 
 // layerOf names the determinism-critical layer the import path belongs
-// to ("internal/obs" or "internal/energy"), or "" when the pass does not
-// apply. The label appears verbatim in diagnostics.
+// to ("internal/obs", "internal/energy", or "internal/snapshot"), or ""
+// when the pass does not apply. The label appears verbatim in
+// diagnostics.
 func layerOf(path string) string {
-	for _, layer := range []string{"internal/obs", "internal/energy"} {
+	for _, layer := range []string{"internal/obs", "internal/energy", "internal/snapshot"} {
 		if path == layer ||
 			strings.Contains(path, "/"+layer) ||
 			strings.HasPrefix(path, layer+"/") {

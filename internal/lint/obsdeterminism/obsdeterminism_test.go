@@ -10,5 +10,6 @@ import (
 func TestObsdeterminism(t *testing.T) {
 	linttest.Run(t, "testdata", obsdeterminism.Analyzer,
 		"internal/obs/bad", "internal/obs/good",
-		"internal/energy/bad", "internal/energy/good", "outside")
+		"internal/energy/bad", "internal/energy/good",
+		"internal/snapshot/bad", "internal/snapshot/good", "outside")
 }

@@ -1,0 +1,16 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// TestCloneCompleteness pins each controller's field list against its
+// Clone: a new mutable field fails here until the clone handles it.
+func TestCloneCompleteness(t *testing.T) {
+	snapshot.CheckCovered(t, DRAMController{}, "dimms", "ctrlLat", "em")
+	snapshot.CheckCovered(t, NMEM{},
+		"dram", "pmem", "blockBits", "lines", "sets",
+		"hits", "misses", "writebacks")
+}

@@ -1,0 +1,16 @@
+package noc
+
+import "slices"
+
+// Clone returns a deep copy of the network occupancy state. The energy
+// meter pointer is carried over; platform forks rewire it via SetMeter.
+func (n *Network) Clone() *Network {
+	return &Network{
+		cfg:          n.cfg,
+		busFree:      n.busFree,
+		slaveFree:    slices.Clone(n.slaveFree),
+		transactions: n.transactions,
+		waitTotal:    n.waitTotal,
+		em:           n.em,
+	}
+}

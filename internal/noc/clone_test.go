@@ -1,0 +1,14 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// TestCloneCompleteness pins Network's field list against Clone: a new
+// mutable field fails here until the clone handles it.
+func TestCloneCompleteness(t *testing.T) {
+	snapshot.CheckCovered(t, Network{},
+		"cfg", "busFree", "slaveFree", "transactions", "waitTotal", "em")
+}

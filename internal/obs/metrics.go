@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -344,6 +345,17 @@ func RegisterEngine(r *Registry, prefix string, e *sim.Engine) {
 	r.GaugeFunc(prefix+"engine_pending", "live events queued (canceled excluded)", func() float64 { return float64(e.Stats().Pending) })
 	r.GaugeFunc(prefix+"engine_heap_depth_max", "high-water mark of the timer heap", func() float64 { return float64(e.Stats().MaxHeapDepth) })
 	r.GaugeFunc(prefix+"engine_arena_slots", "event arena capacity (slots ever allocated)", func() float64 { return float64(e.Stats().ArenaSlots) })
+}
+
+// RegisterSnapshotStats exposes a snapshot.Stats fork accountant: how many
+// platform forks ran and how many bytes of mutable state they duplicated.
+// The totals are atomic sums, so they are identical at any -j worker count.
+func RegisterSnapshotStats(r *Registry, prefix string, s *snapshot.Stats) {
+	if r == nil || s == nil {
+		return
+	}
+	r.CounterFunc(prefix+"snapshot_forks_total", "platform forks taken from snapshots", s.Forks)
+	r.CounterFunc(prefix+"snapshot_bytes_total", "approximate bytes of mutable state duplicated by forks", s.Bytes)
 }
 
 // RegisterParallelEngine exposes a sim.ParallelEngine's coordinator

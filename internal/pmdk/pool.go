@@ -65,6 +65,18 @@ func Open(bank *kernel.Bank) *Pool {
 	return p
 }
 
+// Attach wraps an already-initialized pool in the bank without running
+// recovery. Platform forks use it: the source may hold a deliberately open
+// transaction whose undo log must survive into the fork exactly as-is —
+// Open's rollback would change what a subsequent crash observes. The bank
+// must contain a pool (Open ran on it, or on the bank it was cloned from).
+func Attach(bank *kernel.Bank) *Pool {
+	if bank.Read(poolMagicAddr) != poolMagic {
+		panic("pmdk: Attach on a bank with no initialized pool")
+	}
+	return &Pool{bank: bank}
+}
+
 // recover rolls back an interrupted transaction (crash between TxBegin and
 // TxCommit): undo records are applied newest-first, then the log is
 // discarded.

@@ -1,0 +1,54 @@
+package pmemdimm
+
+import "slices"
+
+// clone deep-copies an LRU tier: the index map, the node arena, and the
+// list/flush-epoch scalars. Copying map entries into a fresh map is
+// order-insensitive — the clone holds the same key set regardless of
+// iteration order — so the copy is deterministic.
+func (l *lru) clone() *lru {
+	if l == nil {
+		return nil
+	}
+	items := make(map[uint64]int32, len(l.items))
+	for k, v := range l.items {
+		items[k] = v
+	}
+	return &lru{
+		cap:   l.cap,
+		items: items,
+		nodes: slices.Clone(l.nodes),
+		head:  l.head,
+		tail:  l.tail,
+		stamp: l.stamp,
+		dirty: l.dirty,
+	}
+}
+
+// Clone returns a deep copy of the DIMM: RNG position, both LRU tier
+// arenas, queue occupancy, stats, and the latency histogram. The energy
+// meter pointer is carried over; platform forks rewire it afterwards.
+func (d *DIMM) Clone() *DIMM {
+	return &DIMM{
+		cfg:       d.cfg,
+		rng:       d.rng.Clone(),
+		sram:      d.sram.clone(),
+		dram:      d.dram.clone(),
+		busyUntil: d.busyUntil,
+		stats:     d.stats,
+		em:        d.em,
+		readLat:   d.readLat.Clone(),
+	}
+}
+
+// Clone returns a deep copy of the block-layer view over a cloned DIMM.
+func (s *SectorDevice) Clone() *SectorDevice {
+	return &SectorDevice{
+		dimm:        s.dimm.Clone(),
+		SyscallCost: s.SyscallCost,
+		QueueDepth:  s.QueueDepth,
+		inflight:    slices.Clone(s.inflight),
+		reads:       s.reads,
+		writes:      s.writes,
+	}
+}

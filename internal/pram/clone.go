@@ -1,0 +1,21 @@
+package pram
+
+// Clone returns a deep copy of the device's mutable state: RNG stream
+// position, command-interface occupancy, cooling windows, and wear counts.
+// The energy meter pointer is carried over; callers forking a whole
+// platform rewire meters afterwards (SetMeter) so the clone charges its own
+// accountant.
+func (d *Device) Clone() *Device {
+	return &Device{
+		cfg:         d.cfg,
+		rng:         d.rng.Clone(),
+		busyUntil:   d.busyUntil,
+		inFlight:    d.inFlight.Clone(),
+		wear:        d.wear.Clone(),
+		em:          d.em,
+		reads:       d.reads,
+		writes:      d.writes,
+		conflicts:   d.conflicts,
+		errInjected: d.errInjected,
+	}
+}

@@ -1,0 +1,52 @@
+package snapshot
+
+import (
+	"reflect"
+	"sort"
+)
+
+// TB is the subset of testing.TB the completeness check needs, declared
+// here so non-test code does not import the testing package.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// CheckCovered asserts that the struct behind v has exactly the fields the
+// caller's Clone method claims to handle. Each clone test declares the
+// field list its Clone copies; when a device grows a new mutable field the
+// declared list no longer matches the struct and the test fails, pointing
+// at the clone that silently stopped being a full snapshot. A renamed or
+// deleted field fails the same way (the stale name no longer exists), so
+// the lists cannot rot.
+//
+// v may be a struct or a pointer to one. The walk uses reflect's
+// declaration-ordered field enumeration — deterministic, no map iteration.
+func CheckCovered(t TB, v any, handled ...string) {
+	t.Helper()
+	rt := reflect.TypeOf(v)
+	for rt != nil && rt.Kind() == reflect.Pointer {
+		rt = rt.Elem()
+	}
+	if rt == nil || rt.Kind() != reflect.Struct {
+		t.Errorf("snapshot: CheckCovered needs a struct, got %T", v)
+		return
+	}
+	declared := append([]string(nil), handled...)
+	sort.Strings(declared)
+	seen := make([]bool, len(declared))
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		j := sort.SearchStrings(declared, name)
+		if j >= len(declared) || declared[j] != name {
+			t.Errorf("snapshot: %s.%s is not covered by its Clone — deep-copy it (or list it as deliberately shared) and add it to the handled list", rt.Name(), name)
+			continue
+		}
+		seen[j] = true
+	}
+	for j, ok := range seen {
+		if !ok {
+			t.Errorf("snapshot: handled field %s.%s does not exist (renamed or removed? update the Clone and its handled list)", rt.Name(), declared[j])
+		}
+	}
+}

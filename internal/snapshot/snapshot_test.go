@@ -1,0 +1,105 @@
+package snapshot
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStatsNilSafe(t *testing.T) {
+	var s *Stats
+	s.RecordFork(10)
+	if s.Forks() != 0 || s.Bytes() != 0 {
+		t.Fatal("nil stats must read zero")
+	}
+	s.Reset()
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	var s Stats
+	s.RecordFork(100)
+	s.RecordFork(28)
+	if s.Forks() != 2 || s.Bytes() != 128 {
+		t.Fatalf("got %d forks / %d bytes, want 2 / 128", s.Forks(), s.Bytes())
+	}
+	s.Reset()
+	if s.Forks() != 0 || s.Bytes() != 0 {
+		t.Fatal("reset did not zero the counters")
+	}
+}
+
+// TestStatsConcurrent hammers RecordFork from many goroutines: the sums
+// must come out exact regardless of interleaving (the property that makes
+// the counters safe under -j N sweeps).
+func TestStatsConcurrent(t *testing.T) {
+	var s Stats
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.RecordFork(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Forks() != 8000 || s.Bytes() != 24000 {
+		t.Fatalf("got %d forks / %d bytes, want 8000 / 24000", s.Forks(), s.Bytes())
+	}
+}
+
+func TestDefaultIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must return the same accountant")
+	}
+}
+
+// fakeTB captures CheckCovered's errors instead of failing the real test.
+type fakeTB struct {
+	errs []string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errs = append(f.errs, fmt.Sprintf(format, args...))
+}
+
+type covered struct {
+	a int
+	b []byte
+}
+
+func TestCheckCoveredPasses(t *testing.T) {
+	var tb fakeTB
+	CheckCovered(&tb, covered{}, "a", "b")
+	CheckCovered(&tb, &covered{}, "b", "a") // pointer deref, any order
+	if len(tb.errs) != 0 {
+		t.Fatalf("unexpected errors: %v", tb.errs)
+	}
+}
+
+func TestCheckCoveredFlagsMissingField(t *testing.T) {
+	var tb fakeTB
+	CheckCovered(&tb, covered{}, "a")
+	if len(tb.errs) != 1 || !strings.Contains(tb.errs[0], "covered.b") {
+		t.Fatalf("want one error naming covered.b, got %v", tb.errs)
+	}
+}
+
+func TestCheckCoveredFlagsStaleName(t *testing.T) {
+	var tb fakeTB
+	CheckCovered(&tb, covered{}, "a", "b", "removed")
+	if len(tb.errs) != 1 || !strings.Contains(tb.errs[0], "removed") {
+		t.Fatalf("want one error naming the stale entry, got %v", tb.errs)
+	}
+}
+
+func TestCheckCoveredRejectsNonStruct(t *testing.T) {
+	var tb fakeTB
+	CheckCovered(&tb, 42)
+	if len(tb.errs) != 1 {
+		t.Fatalf("want one error for a non-struct, got %v", tb.errs)
+	}
+}
